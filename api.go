@@ -1,0 +1,308 @@
+package migratory
+
+import (
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/sim"
+	"migratory/internal/snoop"
+	"migratory/internal/timing"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+// Addressing and machine geometry.
+type (
+	// Addr is a byte address in the simulated shared address space.
+	Addr = memory.Addr
+	// BlockID identifies a cache block under a Geometry.
+	BlockID = memory.BlockID
+	// PageID identifies a 4 KB page.
+	PageID = memory.PageID
+	// NodeID identifies a processing node.
+	NodeID = memory.NodeID
+	// Geometry fixes block and page sizes.
+	Geometry = memory.Geometry
+)
+
+// NewGeometry returns a Geometry for the given block and page sizes.
+func NewGeometry(blockSize, pageSize int) (Geometry, error) {
+	return memory.NewGeometry(blockSize, pageSize)
+}
+
+// MustGeometry is NewGeometry that panics on error.
+func MustGeometry(blockSize, pageSize int) Geometry {
+	return memory.MustGeometry(blockSize, pageSize)
+}
+
+// Traces.
+type (
+	// Access is one shared-memory reference by one node.
+	Access = trace.Access
+	// AccessKind distinguishes reads from writes.
+	AccessKind = trace.Kind
+	// TraceStats summarizes a trace, including an off-line sharing-pattern
+	// census.
+	TraceStats = trace.Stats
+)
+
+// Access kinds.
+const (
+	Read  = trace.Read
+	Write = trace.Write
+)
+
+// AnalyzeTrace computes summary statistics for a trace.
+func AnalyzeTrace(accs []Access, geom Geometry) TraceStats {
+	return trace.Analyze(accs, geom)
+}
+
+// BlockPattern is the off-line classification of one block's sharing
+// pattern over a whole trace.
+type BlockPattern = trace.BlockPattern
+
+// Off-line block sharing patterns.
+const (
+	PatternPrivate    = trace.PatternPrivate
+	PatternReadShared = trace.PatternReadShared
+	PatternMigratory  = trace.PatternMigratory
+	PatternOther      = trace.PatternOther
+)
+
+// ClassifyBlocks returns every touched block's off-line sharing pattern:
+// the oracle view against which the on-line protocols are judged.
+func ClassifyBlocks(accs []Access, geom Geometry) map[BlockID]BlockPattern {
+	return trace.ClassifyBlocks(accs, geom)
+}
+
+// MigratoryOracle builds a DirectoryConfig.MigratoryOracle from the
+// off-line classification of a trace: read misses to blocks that behave
+// migratory over the whole trace are issued as read-with-ownership
+// operations (§5's "load with intent to modify").
+func MigratoryOracle(accs []Access, geom Geometry) func(BlockID) bool {
+	patterns := trace.ClassifyBlocks(accs, geom)
+	return func(b BlockID) bool { return patterns[b] == trace.PatternMigratory }
+}
+
+// Protocol policies (§4.1).
+type Policy = core.Policy
+
+// The four protocols the paper evaluates.
+var (
+	// Conventional is the replicate-on-read-miss baseline.
+	Conventional = core.Conventional
+	// Conservative requires two successive migratory events (Figure 3).
+	Conservative = core.Conservative
+	// Basic classifies after a single event.
+	Basic = core.Basic
+	// Aggressive starts blocks as migratory and reclassifies immediately.
+	Aggressive = core.Aggressive
+)
+
+// Stenstrom is the related-work protocol of Stenström, Brorsson & Sandberg
+// (§5): Basic's classification rule, but declassifying on any write miss to
+// a migratory block.
+var Stenstrom = core.Stenstrom
+
+// Policies returns the four published protocols in table order.
+func Policies() []Policy { return core.Policies() }
+
+// PolicyByName looks a policy up by name ("conventional", "basic", ...).
+func PolicyByName(name string) (Policy, error) { return core.PolicyByName(name) }
+
+// Message accounting (Table 1).
+type (
+	// Msgs counts short and data-carrying inter-node messages.
+	Msgs = cost.Msgs
+	// CostOp classifies a coherence operation for message accounting.
+	CostOp = cost.Op
+)
+
+// MessageCost returns the Table 1 message counts for one operation.
+func MessageCost(op CostOp, homeLocal, dirty bool, distantCopies int) Msgs {
+	return cost.Charge(op, homeLocal, dirty, distantCopies)
+}
+
+// Reduction returns the percentage total-message reduction of with versus
+// base.
+func Reduction(base, with Msgs) float64 { return cost.Reduction(base, with) }
+
+// Directory-based simulation (§2.2, §3.3).
+type (
+	// DirectoryConfig describes one CC-NUMA machine.
+	DirectoryConfig = directory.Config
+	// DirectorySystem simulates one machine running one protocol.
+	DirectorySystem = directory.System
+	// DirectoryCounters tallies protocol activity.
+	DirectoryCounters = directory.Counters
+)
+
+// NewDirectorySystem builds a directory-based simulator.
+func NewDirectorySystem(cfg DirectoryConfig) (*DirectorySystem, error) {
+	return directory.New(cfg)
+}
+
+// Page placement (§3.3).
+type PlacementPolicy = placement.Policy
+
+// RoundRobinPlacement assigns page p to node p mod nodes (the execution-
+// driven default).
+func RoundRobinPlacement(nodes int) PlacementPolicy { return placement.NewRoundRobin(nodes) }
+
+// UsageBasedPlacement profiles the trace and homes each page at its
+// most-frequent referencer (the trace-driven "good static placement").
+func UsageBasedPlacement(accs []Access, geom Geometry, nodes int) PlacementPolicy {
+	return placement.UsageBased(accs, geom, nodes)
+}
+
+// FirstTouchPlacement homes each page at the first node to reference it.
+func FirstTouchPlacement(accs []Access, geom Geometry, nodes int) PlacementPolicy {
+	return placement.FirstTouch(accs, geom, nodes)
+}
+
+// Snooping bus simulation (§2.1, §4.3).
+type (
+	// BusConfig describes one bus-based machine.
+	BusConfig = snoop.Config
+	// BusSystem simulates one bus-based machine.
+	BusSystem = snoop.System
+	// BusProtocol selects the snooping protocol variant.
+	BusProtocol = snoop.Protocol
+	// BusCounts tallies bus transactions by type.
+	BusCounts = snoop.Counts
+)
+
+// Snooping protocol variants.
+const (
+	// BusMESI is the conventional MESI baseline.
+	BusMESI = snoop.MESI
+	// BusAdaptive is the Figure 1/2 adaptive protocol.
+	BusAdaptive = snoop.Adaptive
+	// BusAdaptiveMigrateFirst uses migrate-on-read-miss as the initial
+	// policy.
+	BusAdaptiveMigrateFirst = snoop.AdaptiveMigrateFirst
+	// BusSymmetry is the non-adaptive Sequent Symmetry model B policy.
+	BusSymmetry = snoop.Symmetry
+	// BusUpdateOnce is the Alpha-style hybrid update/invalidate protocol
+	// of §5, which takes three inter-cache operations per migration.
+	BusUpdateOnce = snoop.UpdateOnce
+	// BusBerkeley is the Berkeley Ownership protocol (paper ref [12]):
+	// dirty cache-to-cache sharing with an Owned state.
+	BusBerkeley = snoop.Berkeley
+)
+
+// NewBusSystem builds a snooping bus simulator.
+func NewBusSystem(cfg BusConfig) (*BusSystem, error) { return snoop.New(cfg) }
+
+// Workloads (the SPLASH substitution of DESIGN.md §4).
+type (
+	// WorkloadProfile describes one application.
+	WorkloadProfile = workload.Profile
+	// WorkloadSegment describes one homogeneous region of shared data.
+	WorkloadSegment = workload.Segment
+	// SharingKind classifies a segment's sharing idiom.
+	SharingKind = workload.Kind
+)
+
+// Sharing idioms.
+const (
+	Migratory        = workload.Migratory
+	ReadShared       = workload.ReadShared
+	ProducerConsumer = workload.ProducerConsumer
+	MostlyPrivate    = workload.MostlyPrivate
+)
+
+// WorkloadProfiles returns the five SPLASH-like application profiles.
+func WorkloadProfiles() []WorkloadProfile { return workload.Profiles() }
+
+// WorkloadByName looks a profile up ("Cholesky", "Locus Route", "MP3D",
+// "Pthor", "Water").
+func WorkloadByName(name string) (WorkloadProfile, error) { return workload.ProfileByName(name) }
+
+// GenerateWorkload produces a deterministic trace for the named profile.
+// length of 0 uses the profile's default.
+func GenerateWorkload(name string, nodes int, seed int64, length int) ([]Access, error) {
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p, nodes, seed, length)
+}
+
+// GenerateFromProfile produces a trace for a caller-defined profile.
+func GenerateFromProfile(p WorkloadProfile, nodes int, seed int64, length int) ([]Access, error) {
+	return workload.Generate(p, nodes, seed, length)
+}
+
+// ScaleWorkload scales a profile's data-set size (object counts and default
+// trace length) by factor, modeling inputs larger or smaller than the
+// paper's standard ones.
+func ScaleWorkload(p WorkloadProfile, factor float64) (WorkloadProfile, error) {
+	return workload.Scale(p, factor)
+}
+
+// Experiment drivers (§4).
+type (
+	// ExperimentOptions configures a sweep.
+	ExperimentOptions = sim.Options
+	// Sweep holds a directory-protocol sweep (Tables 2 and 3).
+	Sweep = sim.Sweep
+	// BusSweep holds the §4.3 bus comparison.
+	BusSweep = sim.BusSweep
+	// ExecRow is one §4.2 execution-time comparison.
+	ExecRow = sim.ExecRow
+)
+
+// Table2 regenerates the paper's Table 2 (message counts by cache size).
+func Table2(opts ExperimentOptions) (*Sweep, error) { return sim.Table2(opts) }
+
+// Table3 regenerates Table 3 (message counts by block size, infinite
+// caches).
+func Table3(opts ExperimentOptions) (*Sweep, error) { return sim.Table3(opts) }
+
+// BusComparison regenerates the §4.3 bus results.
+func BusComparison(opts ExperimentOptions, cacheSizes []int, protocols []BusProtocol) (*BusSweep, error) {
+	return sim.RunBus(opts, cacheSizes, protocols)
+}
+
+// ExecutionTime regenerates the §4.2 execution-driven comparison.
+func ExecutionTime(opts ExperimentOptions, policy Policy, cacheBytes int) ([]ExecRow, error) {
+	return sim.ExecutionTime(opts, policy, cacheBytes)
+}
+
+// DetectionAccuracy is one protocol's on-line-vs-off-line classification
+// score.
+type DetectionAccuracy = sim.Accuracy
+
+// ClassifierAccuracy scores each adaptive protocol's migratory detection
+// on one application against the off-line ground truth.
+func ClassifierAccuracy(app string, opts ExperimentOptions, cacheBytes int) ([]DetectionAccuracy, error) {
+	return sim.ClassifierAccuracy(app, opts, cacheBytes)
+}
+
+// NodeCountRow is one machine-size point of the scalability sweep.
+type NodeCountRow = sim.NodeCountRow
+
+// NodeCountSweep measures how the message reduction scales with machine
+// size (nil nodeCounts = 4, 8, 16, 32, 64).
+func NodeCountSweep(app string, nodeCounts []int, opts ExperimentOptions) ([]NodeCountRow, error) {
+	return sim.NodeCountSweep(app, nodeCounts, opts)
+}
+
+// Timing model (§4.2).
+type (
+	// TimingParams are the DASH-like latency constants.
+	TimingParams = timing.Params
+	// TimingConfig describes one timed run.
+	TimingConfig = timing.Config
+	// TimingResult reports one timed run.
+	TimingResult = timing.Result
+)
+
+// DefaultTimingParams returns the §4.2 latency constants.
+func DefaultTimingParams() TimingParams { return timing.DefaultParams() }
+
+// RunTimed executes a trace under the timing model.
+func RunTimed(accs []Access, cfg TimingConfig) (TimingResult, error) { return timing.Run(accs, cfg) }

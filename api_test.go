@@ -1,0 +1,272 @@
+package migratory_test
+
+import (
+	"strings"
+	"testing"
+
+	"migratory"
+)
+
+// TestQuickstartFlow exercises the documented public API path end to end:
+// generate a workload, build a directory system, run it, read the results.
+func TestQuickstartFlow(t *testing.T) {
+	accs, err := migratory.GenerateWorkload("MP3D", 16, 1, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) < 30_000 {
+		t.Fatalf("trace too short: %d", len(accs))
+	}
+	geom := migratory.MustGeometry(16, 4096)
+	var msgs []migratory.Msgs
+	for _, pol := range migratory.Policies() {
+		sys, err := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+			Nodes:          16,
+			Geometry:       geom,
+			Policy:         pol,
+			Placement:      migratory.UsageBasedPlacement(accs, geom, 16),
+			CheckCoherence: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(accs); err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, sys.Messages())
+	}
+	if len(msgs) != 4 {
+		t.Fatalf("got %d results", len(msgs))
+	}
+	for i := 1; i < 4; i++ {
+		if migratory.Reduction(msgs[0], msgs[i]) <= 0 {
+			t.Errorf("policy %d did not reduce messages: %v vs %v", i, msgs[i], msgs[0])
+		}
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	if migratory.Conventional.Adaptive || !migratory.Aggressive.InitialMigratory {
+		t.Fatal("policy aliases wrong")
+	}
+	p, err := migratory.PolicyByName("conservative")
+	if err != nil || p.Hysteresis != 2 {
+		t.Fatalf("PolicyByName: %+v, %v", p, err)
+	}
+}
+
+func TestFacadeGeometryAndCost(t *testing.T) {
+	if _, err := migratory.NewGeometry(24, 4096); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	g := migratory.MustGeometry(64, 4096)
+	if g.BlockSize() != 64 {
+		t.Fatal("geometry block size")
+	}
+	m := migratory.MessageCost(migratory.CostOp(0), false, true, 1) // remote dirty read miss
+	if m.Short != 2 || m.Data != 2 {
+		t.Fatalf("MessageCost = %+v", m)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	profs := migratory.WorkloadProfiles()
+	if len(profs) != 5 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	if _, err := migratory.WorkloadByName("Water"); err != nil {
+		t.Fatal(err)
+	}
+	custom := migratory.WorkloadProfile{
+		Name: "custom",
+		Segments: []migratory.WorkloadSegment{
+			{Name: "m", Kind: migratory.Migratory, Objects: 32, ObjWords: 4, Weight: 1},
+		},
+	}
+	accs, err := migratory.GenerateFromProfile(custom, 4, 2, 2_000)
+	if err != nil || len(accs) < 2_000 {
+		t.Fatalf("custom generate: %d, %v", len(accs), err)
+	}
+	st := migratory.AnalyzeTrace(accs, migratory.MustGeometry(16, 4096))
+	if st.MigratoryBlocks == 0 {
+		t.Fatal("custom migratory profile produced no migratory blocks")
+	}
+}
+
+func TestFacadeBus(t *testing.T) {
+	sys, err := migratory.NewBusSystem(migratory.BusConfig{
+		Nodes:          4,
+		Geometry:       migratory.MustGeometry(16, 4096),
+		Protocol:       migratory.BusAdaptive,
+		CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := []migratory.Access{
+		{Node: 0, Kind: migratory.Write, Addr: 0},
+		{Node: 1, Kind: migratory.Read, Addr: 0},
+		{Node: 1, Kind: migratory.Write, Addr: 0},
+		{Node: 2, Kind: migratory.Read, Addr: 0},
+	}
+	if err := sys.Run(accs); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Counts()
+	if c.Total() == 0 || sys.Migrations() != 1 {
+		t.Fatalf("counts = %+v migrations = %d", c, sys.Migrations())
+	}
+	if migratory.BusMESI.Adaptive() || !migratory.BusAdaptiveMigrateFirst.Adaptive() {
+		t.Fatal("protocol predicates wrong")
+	}
+	if migratory.BusSymmetry.String() != "symmetry" {
+		t.Fatal("protocol name")
+	}
+}
+
+func TestFacadePlacement(t *testing.T) {
+	geom := migratory.MustGeometry(16, 4096)
+	accs := []migratory.Access{{Node: 3, Kind: migratory.Read, Addr: 0}}
+	if migratory.RoundRobinPlacement(16).Home(0) != 0 {
+		t.Fatal("round robin")
+	}
+	if migratory.FirstTouchPlacement(accs, geom, 16).Home(0) != 3 {
+		t.Fatal("first touch")
+	}
+	if migratory.UsageBasedPlacement(accs, geom, 16).Home(0) != 3 {
+		t.Fatal("usage based")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	opts := migratory.ExperimentOptions{Nodes: 16, Seed: 3, Length: 20_000, Apps: []string{"Water"}}
+	sw, err := migratory.Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sw.Render().String()
+	if !strings.Contains(out, "Water") {
+		t.Fatalf("render:\n%s", out)
+	}
+	bus, err := migratory.BusComparison(opts, []int{64 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bus.Rows[64<<10]) != 1 {
+		t.Fatal("bus rows")
+	}
+	rows, err := migratory.ExecutionTime(opts, migratory.Basic, 0)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("exec: %v, %d rows", err, len(rows))
+	}
+}
+
+func TestFacadeTiming(t *testing.T) {
+	p := migratory.DefaultTimingParams()
+	if p.HopCycles == 0 {
+		t.Fatal("default params empty")
+	}
+	accs := []migratory.Access{
+		{Node: 0, Kind: migratory.Read, Addr: 0},
+		{Node: 0, Kind: migratory.Write, Addr: 0},
+	}
+	r, err := migratory.RunTimed(accs, migratory.TimingConfig{
+		Nodes:    4,
+		Geometry: migratory.MustGeometry(16, 4096),
+		Policy:   migratory.Basic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Accesses != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	geom := migratory.MustGeometry(16, 4096)
+
+	// Stenström policy via the facade.
+	if !migratory.Stenstrom.DeclassifyOnWriteMiss {
+		t.Fatal("Stenstrom alias wrong")
+	}
+
+	// Workload scaling.
+	base, err := migratory.WorkloadByName("Water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := migratory.ScaleWorkload(base, 2)
+	if err != nil || big.FootprintKB() <= base.FootprintKB() {
+		t.Fatalf("ScaleWorkload: %v (%d vs %d KB)", err, big.FootprintKB(), base.FootprintKB())
+	}
+
+	// Off-line oracle construction and use.
+	accs, err := migratory.GenerateWorkload("MP3D", 16, 5, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := migratory.MigratoryOracle(accs, geom)
+	sys, err := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+		Nodes:           16,
+		Geometry:        geom,
+		Policy:          migratory.Conventional,
+		Placement:       migratory.UsageBasedPlacement(accs, geom, 16),
+		MigratoryOracle: oracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(accs); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Counters().Migrations == 0 {
+		t.Fatal("oracle never migrated on an MP3D trace")
+	}
+
+	// Detection accuracy via the facade.
+	opts := migratory.ExperimentOptions{Nodes: 16, Seed: 5, Length: 20_000, Apps: []string{"MP3D"}}
+	acc, err := migratory.ClassifierAccuracy("MP3D", opts, 0)
+	if err != nil || len(acc) != 3 {
+		t.Fatalf("ClassifierAccuracy: %v (%d rows)", err, len(acc))
+	}
+	if acc[1].Recall() < 0.5 {
+		t.Fatalf("basic recall = %.2f", acc[1].Recall())
+	}
+
+	// Node-count sweep via the facade.
+	rows, err := migratory.NodeCountSweep("MP3D", []int{8}, opts)
+	if err != nil || len(rows) != 1 || rows[0].Reductions[2] <= 0 {
+		t.Fatalf("NodeCountSweep: %v %+v", err, rows)
+	}
+
+	// Limited directory + drop-notification flags through the facade type.
+	lim, err := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+		Nodes:                 16,
+		Geometry:              geom,
+		Policy:                migratory.Basic,
+		Placement:             migratory.RoundRobinPlacement(16),
+		DirPointers:           1,
+		FreeDropNotifications: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lim.Run(accs[:5_000]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Berkeley bus protocol via the facade.
+	bus, err := migratory.NewBusSystem(migratory.BusConfig{
+		Nodes: 4, Geometry: geom, Protocol: migratory.BusBerkeley, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Run([]migratory.Access{
+		{Node: 0, Kind: migratory.Write, Addr: 0},
+		{Node: 1, Kind: migratory.Read, Addr: 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,761 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (the experiment index lives in DESIGN.md §3; measured-versus-published
+// values are recorded in EXPERIMENTS.md). Each benchmark reports the
+// paper's headline metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the study end to end. The workloads here are shortened for
+// benchmark turnaround; the cmd/ tools run the full-length versions.
+package migratory
+
+import (
+	"fmt"
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/sim"
+	"migratory/internal/snoop"
+	"migratory/internal/timing"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+const benchLength = 120_000
+
+var benchGeom = memory.MustGeometry(16, 4096)
+
+func benchOpts(apps ...string) sim.Options {
+	return sim.Options{Nodes: 16, Seed: 1993, Length: benchLength, Apps: apps}
+}
+
+// benchTrace caches generated traces across benchmark iterations.
+var benchTraces = map[string][]trace.Access{}
+
+func benchTrace(b *testing.B, app string) []trace.Access {
+	b.Helper()
+	if t, ok := benchTraces[app]; ok {
+		return t
+	}
+	prof, err := workload.ProfileByName(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := workload.Generate(prof, 16, 1993, benchLength)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[app] = t
+	return t
+}
+
+// BenchmarkTable1CostModel exercises E1: the Table 1 message accounting.
+func BenchmarkTable1CostModel(b *testing.B) {
+	var sink cost.Msgs
+	for i := 0; i < b.N; i++ {
+		for op := cost.ReadMiss; op <= cost.WriteBack; op++ {
+			for dc := 0; dc < 4; dc++ {
+				sink = sink.Add(cost.Charge(op, i%2 == 0, i%3 == 0, dc))
+			}
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFigure3Classifier exercises E3: the directory classification
+// engine on the canonical migratory event sequence.
+func BenchmarkFigure3Classifier(b *testing.B) {
+	for _, p := range core.Policies() {
+		b.Run(p.Name, func(b *testing.B) {
+			c := core.NewClassifier(p)
+			for i := 0; i < b.N; i++ {
+				c.ReadMiss(true)
+				c.WriteHit(memory.NodeID(i%16), true)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2Snoop exercises E2: the adaptive snooping FSM on a
+// migratory access stream.
+func BenchmarkFigure2Snoop(b *testing.B) {
+	var accs []trace.Access
+	for round := 0; round < 64; round++ {
+		for n := memory.NodeID(0); n < 4; n++ {
+			accs = append(accs,
+				trace.Access{Node: n, Kind: trace.Read, Addr: memory.Addr(round % 8 * 16)},
+				trace.Access{Node: n, Kind: trace.Write, Addr: memory.Addr(round % 8 * 16)},
+			)
+		}
+	}
+	for _, p := range []snoop.Protocol{snoop.MESI, snoop.Adaptive} {
+		b.Run(p.String(), func(b *testing.B) {
+			sys, err := snoop.New(snoop.Config{Nodes: 16, Geometry: benchGeom, Protocol: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Run(accs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sys.Counts().Total())/float64(b.N), "bus-txns/run")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates E4 (one sub-benchmark per application at the
+// paper's 64 KB midpoint), reporting the percentage message reduction of
+// each adaptive protocol over conventional.
+func BenchmarkTable2(b *testing.B) {
+	for _, prof := range workload.Profiles() {
+		app := prof.Name
+		b.Run(app, func(b *testing.B) {
+			accs := benchTrace(b, app)
+			pl := placement.UsageBased(accs, benchGeom, 16)
+			var reductions [3]float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, pol := range core.Policies() {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+						Policy: pol, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						reductions[pi-1] = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(reductions[0], "conservative-%red")
+			b.ReportMetric(reductions[1], "basic-%red")
+			b.ReportMetric(reductions[2], "aggressive-%red")
+		})
+	}
+}
+
+// BenchmarkTable2CacheSweep reports the aggressive protocol's reduction at
+// each of Table 2's cache sizes for one strongly cache-sensitive
+// application, exhibiting the paper's cache-size trend.
+func BenchmarkTable2CacheSweep(b *testing.B) {
+	accs := benchTrace(b, "Water")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	for _, cacheBytes := range sim.Table2CacheSizes {
+		b.Run(fmt.Sprintf("%dK", cacheBytes>>10), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, pol := range []core.Policy{core.Conventional, core.Aggressive} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: cacheBytes,
+						Policy: pol, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(red, "aggressive-%red")
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates E5: block-size sweep with infinite caches,
+// reporting the aggressive reduction per block size for each application.
+func BenchmarkTable3(b *testing.B) {
+	for _, prof := range workload.Profiles() {
+		app := prof.Name
+		b.Run(app, func(b *testing.B) {
+			accs := benchTrace(b, app)
+			pl := placement.UsageBased(accs, benchGeom, 16)
+			metrics := map[int]float64{}
+			for i := 0; i < b.N; i++ {
+				for _, bs := range sim.Table3BlockSizes {
+					geom := memory.MustGeometry(bs, 4096)
+					var base cost.Msgs
+					for pi, pol := range []core.Policy{core.Conventional, core.Aggressive} {
+						sys, err := directory.New(directory.Config{
+							Nodes: 16, Geometry: geom, Policy: pol, Placement: pl,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := sys.Run(accs); err != nil {
+							b.Fatal(err)
+						}
+						if pi == 0 {
+							base = sys.Messages()
+						} else {
+							metrics[bs] = cost.Reduction(base, sys.Messages())
+						}
+					}
+				}
+			}
+			for _, bs := range sim.Table3BlockSizes {
+				b.ReportMetric(metrics[bs], fmt.Sprintf("%dB-%%red", bs))
+			}
+		})
+	}
+}
+
+// BenchmarkCostRatios regenerates E6: the §4.1 weighted cost analysis for
+// MP3D and Locus Route at infinite cache and 16-byte blocks.
+func BenchmarkCostRatios(b *testing.B) {
+	for _, app := range []string{"MP3D", "Locus Route"} {
+		b.Run(app, func(b *testing.B) {
+			accs := benchTrace(b, app)
+			pl := placement.UsageBased(accs, benchGeom, 16)
+			var r1, r2, r4 float64
+			for i := 0; i < b.N; i++ {
+				var base, agg cost.Msgs
+				for pi, pol := range []core.Policy{core.Conventional, core.Aggressive} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, Policy: pol, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						agg = sys.Messages()
+					}
+				}
+				r1 = cost.Reduction(base, agg)
+				r2 = cost.WeightedReduction(base, agg, 2)
+				r4 = cost.WeightedReduction(base, agg, 4)
+			}
+			b.ReportMetric(r1, "1to1-%red")
+			b.ReportMetric(r2, "2to1-%red")
+			b.ReportMetric(r4, "4to1-%red")
+		})
+	}
+}
+
+// BenchmarkExecutionTime regenerates E7: the §4.2 execution-time study.
+func BenchmarkExecutionTime(b *testing.B) {
+	for _, app := range sim.ExecApps {
+		b.Run(app, func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				rows, err := sim.ExecutionTime(benchOpts(app), core.Basic, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				red = rows[0].ReductionPct
+			}
+			b.ReportMetric(red, "time-%red")
+		})
+	}
+}
+
+// BenchmarkBusProtocol regenerates E8: §4.3's bus results under both cost
+// models, at 64 KB caches.
+func BenchmarkBusProtocol(b *testing.B) {
+	for _, prof := range workload.Profiles() {
+		app := prof.Name
+		b.Run(app, func(b *testing.B) {
+			accs := benchTrace(b, app)
+			var m1, m2 float64
+			for i := 0; i < b.N; i++ {
+				var counts [2]snoop.Counts
+				for pi, p := range []snoop.Protocol{snoop.MESI, snoop.Adaptive} {
+					sys, err := snoop.New(snoop.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10, Protocol: p,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					counts[pi] = sys.Counts()
+				}
+				m1 = 100 * (1 - float64(counts[1].Total())/float64(counts[0].Total()))
+				m2 = 100 * (1 - float64(counts[1].Model2(true))/float64(counts[0].Model2(false)))
+			}
+			b.ReportMetric(m1, "model1-%save")
+			b.ReportMetric(m2, "model2-%save")
+		})
+	}
+}
+
+// BenchmarkSymmetryBaseline regenerates E9: the §5 comparison against the
+// Sequent Symmetry migrate-modified-blocks policy on read-shared data.
+func BenchmarkSymmetryBaseline(b *testing.B) {
+	var accs []trace.Access
+	for round := 0; round < 200; round++ {
+		accs = append(accs, trace.Access{Node: 0, Kind: trace.Write, Addr: 0})
+		for sweep := 0; sweep < 2; sweep++ {
+			for n := memory.NodeID(1); n < 8; n++ {
+				accs = append(accs, trace.Access{Node: n, Kind: trace.Read, Addr: 0})
+			}
+		}
+	}
+	var symRM, adpRM float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range []snoop.Protocol{snoop.Symmetry, snoop.Adaptive} {
+			sys, err := snoop.New(snoop.Config{Nodes: 8, Geometry: benchGeom, Protocol: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Run(accs); err != nil {
+				b.Fatal(err)
+			}
+			if p == snoop.Symmetry {
+				symRM = float64(sys.Counts().ReadMiss)
+			} else {
+				adpRM = float64(sys.Counts().ReadMiss)
+			}
+		}
+	}
+	b.ReportMetric(symRM/adpRM, "symmetry-readmiss-ratio")
+}
+
+// BenchmarkMigrationHalving regenerates E10: the §2 claim that
+// migrate-on-read-miss halves the inter-cache operations for a migratory
+// block.
+func BenchmarkMigrationHalving(b *testing.B) {
+	var accs []trace.Access
+	for round := 0; round < 250; round++ {
+		for n := memory.NodeID(1); n <= 4; n++ {
+			accs = append(accs,
+				trace.Access{Node: n, Kind: trace.Read, Addr: 0},
+				trace.Access{Node: n, Kind: trace.Write, Addr: 0},
+			)
+		}
+	}
+	var conv, agg float64
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []core.Policy{core.Conventional, core.Aggressive} {
+			sys, err := directory.New(directory.Config{
+				Nodes: 16, Geometry: benchGeom, Policy: pol,
+				Placement: placement.NewRoundRobin(16),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Run(accs); err != nil {
+				b.Fatal(err)
+			}
+			if pol.Adaptive {
+				agg = float64(sys.Messages().Total())
+			} else {
+				conv = float64(sys.Messages().Total())
+			}
+		}
+	}
+	b.ReportMetric(conv/agg, "msg-ratio") // the paper's factor of ~2
+}
+
+// BenchmarkUpdateOnceBaseline (E13) quantifies §5's Alpha-hybrid
+// criticism: bus transactions per protocol on the most migratory workload.
+func BenchmarkUpdateOnceBaseline(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	for _, p := range []snoop.Protocol{snoop.MESI, snoop.Berkeley, snoop.UpdateOnce, snoop.Adaptive} {
+		b.Run(p.String(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				sys, err := snoop.New(snoop.Config{
+					Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10, Protocol: p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Run(accs); err != nil {
+					b.Fatal(err)
+				}
+				total = float64(sys.Counts().Total())
+			}
+			b.ReportMetric(total, "bus-txns")
+		})
+	}
+}
+
+// BenchmarkLimitedDirectory (E16) measures the interaction between
+// migratory detection and limited directory pointers: migration keeps copy
+// sets at one, so the adaptive protocol suffers far fewer overflow
+// broadcasts.
+func BenchmarkLimitedDirectory(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	for _, pointers := range []int{0, 4, 1} {
+		name := "full-map"
+		if pointers > 0 {
+			name = fmt.Sprintf("dir%d", pointers)
+		}
+		b.Run(name, func(b *testing.B) {
+			var red, overflowsConv, overflowsAdp float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, pol := range []core.Policy{core.Conventional, core.Aggressive} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, Policy: pol,
+						Placement: pl, DirPointers: pointers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+						overflowsConv = float64(sys.Counters().Overflows)
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+						overflowsAdp = float64(sys.Counters().Overflows)
+					}
+				}
+			}
+			b.ReportMetric(red, "aggressive-%red")
+			b.ReportMetric(overflowsConv, "conv-overflows")
+			b.ReportMetric(overflowsAdp, "agg-overflows")
+		})
+	}
+}
+
+// BenchmarkNodeCountSensitivity reports the aggressive reduction across
+// machine sizes (an extension sweep; the paper fixes 16 processors).
+func BenchmarkNodeCountSensitivity(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("nodes%d", n), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				rows, err := sim.NodeCountSweep("MP3D", []int{n}, benchOpts("MP3D"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				red = rows[0].Reductions[2]
+			}
+			b.ReportMetric(red, "aggressive-%red")
+		})
+	}
+}
+
+// BenchmarkClassifierAccuracy reports detection precision and recall.
+func BenchmarkClassifierAccuracy(b *testing.B) {
+	for _, app := range []string{"MP3D", "Pthor"} {
+		b.Run(app, func(b *testing.B) {
+			var prec, rec float64
+			for i := 0; i < b.N; i++ {
+				rows, err := sim.ClassifierAccuracy(app, benchOpts(app), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg := rows[len(rows)-1]
+				prec, rec = agg.Precision(), agg.Recall()
+			}
+			b.ReportMetric(100*prec, "aggressive-precision%")
+			b.ReportMetric(100*rec, "aggressive-recall%")
+		})
+	}
+}
+
+// BenchmarkOracleBound (E12) measures how much headroom an off-line
+// analysis with perfect foreknowledge (§5's load-with-intent-to-modify)
+// has over the on-line adaptive protocols.
+func BenchmarkOracleBound(b *testing.B) {
+	for _, app := range []string{"MP3D", "Water"} {
+		b.Run(app, func(b *testing.B) {
+			accs := benchTrace(b, app)
+			pl := placement.UsageBased(accs, benchGeom, 16)
+			patterns := trace.ClassifyBlocks(accs, benchGeom)
+			oracle := func(blk memory.BlockID) bool { return patterns[blk] == trace.PatternMigratory }
+			var aggRed, oracleRed float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				runOne := func(pol core.Policy, orc func(memory.BlockID) bool) cost.Msgs {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, Policy: pol,
+						Placement: pl, MigratoryOracle: orc,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					return sys.Messages()
+				}
+				base = runOne(core.Conventional, nil)
+				aggRed = cost.Reduction(base, runOne(core.Aggressive, nil))
+				oracleRed = cost.Reduction(base, runOne(core.Conventional, oracle))
+			}
+			b.ReportMetric(aggRed, "aggressive-%red")
+			b.ReportMetric(oracleRed, "oracle-%red")
+		})
+	}
+}
+
+// BenchmarkStenstromComparison (E11) runs the quantitative comparison with
+// the Stenström, Brorsson & Sandberg protocol that §5 calls for.
+func BenchmarkStenstromComparison(b *testing.B) {
+	for _, app := range []string{"MP3D", "Pthor"} {
+		b.Run(app, func(b *testing.B) {
+			accs := benchTrace(b, app)
+			pl := placement.UsageBased(accs, benchGeom, 16)
+			var basicRed, stenRed float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, pol := range []core.Policy{core.Conventional, core.Basic, core.Stenstrom} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: 16 << 10,
+						Policy: pol, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					switch pi {
+					case 0:
+						base = sys.Messages()
+					case 1:
+						basicRed = cost.Reduction(base, sys.Messages())
+					case 2:
+						stenRed = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(basicRed, "basic-%red")
+			b.ReportMetric(stenRed, "stenstrom-%red")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationRetention compares keeping versus forgetting the
+// migratory classification across uncached intervals, on a small cache
+// where blocks are evicted between visits.
+func BenchmarkAblationRetention(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	variants := []core.Policy{
+		core.Basic,
+		{Name: "basic-forgetful", Adaptive: true, Hysteresis: 1},
+	}
+	for _, pol := range variants {
+		b.Run(pol.Name, func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, p := range []core.Policy{core.Conventional, pol} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: 4 << 10,
+						Policy: p, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(red, "%red")
+		})
+	}
+}
+
+// BenchmarkAblationHysteresis sweeps the hysteresis depth.
+func BenchmarkAblationHysteresis(b *testing.B) {
+	accs := benchTrace(b, "Water")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	for _, h := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("h%d", h), func(b *testing.B) {
+			pol := core.Policy{Name: fmt.Sprintf("hyst-%d", h), Adaptive: true, Hysteresis: h, RetainWhenUncached: true}
+			var red float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, p := range []core.Policy{core.Conventional, pol} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, Policy: p, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(red, "%red")
+		})
+	}
+}
+
+// BenchmarkAblationInitial compares the initial classification choice.
+func BenchmarkAblationInitial(b *testing.B) {
+	accs := benchTrace(b, "Cholesky")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	variants := []core.Policy{core.Basic, core.Aggressive}
+	for _, pol := range variants {
+		b.Run("initial-"+map[bool]string{false: "other", true: "migratory"}[pol.InitialMigratory], func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, p := range []core.Policy{core.Conventional, pol} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, Policy: p, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(red, "%red")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement quantifies §4.2's explanation for the gap
+// between the trace-driven and execution-driven results: page placement.
+func BenchmarkAblationPlacement(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	policies := map[string]placement.Policy{
+		"round-robin": placement.NewRoundRobin(16),
+		"first-touch": placement.FirstTouch(accs, benchGeom, 16),
+		"usage-based": placement.UsageBased(accs, benchGeom, 16),
+	}
+	for _, name := range []string{"round-robin", "first-touch", "usage-based"} {
+		pl := policies[name]
+		b.Run(name, func(b *testing.B) {
+			var total, red float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, p := range []core.Policy{core.Conventional, core.Basic} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, Policy: p, Placement: pl,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+						total = float64(base.Total())
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(total, "conv-msgs")
+			b.ReportMetric(red, "basic-%red")
+		})
+	}
+}
+
+// BenchmarkAblationWriteBuffer measures how much of the §4.2 time benefit
+// survives under a weakly ordered memory system where writes never stall.
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	for _, buffered := range []bool{false, true} {
+		name := "blocking-writes"
+		if buffered {
+			name = "write-buffered"
+		}
+		b.Run(name, func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				params := timing.DefaultParams()
+				params.ThinkCycles = 22
+				params.WriteBuffered = buffered
+				mk := func(pol core.Policy) timing.Result {
+					r, err := timing.Run(accs, timing.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+						Policy: pol, Params: params,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return r
+				}
+				red = timing.Reduction(mk(core.Conventional), mk(core.Basic))
+			}
+			b.ReportMetric(red, "time-%red")
+		})
+	}
+}
+
+// BenchmarkAblationDropNotify measures the weight of the clean-replacement
+// notification accounting the paper debates in §3.3.
+func BenchmarkAblationDropNotify(b *testing.B) {
+	accs := benchTrace(b, "Water")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	for _, free := range []bool{false, true} {
+		name := "charged"
+		if free {
+			name = "free"
+		}
+		b.Run(name, func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				var base cost.Msgs
+				for pi, p := range []core.Policy{core.Conventional, core.Aggressive} {
+					sys, err := directory.New(directory.Config{
+						Nodes: 16, Geometry: benchGeom, CacheBytes: 16 << 10,
+						Policy: p, Placement: pl, FreeDropNotifications: free,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := sys.Run(accs); err != nil {
+						b.Fatal(err)
+					}
+					if pi == 0 {
+						base = sys.Messages()
+					} else {
+						red = cost.Reduction(base, sys.Messages())
+					}
+				}
+			}
+			b.ReportMetric(red, "%red")
+		})
+	}
+}

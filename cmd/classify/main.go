@@ -1,0 +1,109 @@
+// Command classify evaluates the on-line migratory detection itself: it
+// scores each adaptive protocol's classifications against the off-line
+// ground truth (precision/recall over shared blocks), and prints the
+// Weber–Gupta style invalidation-pattern histogram (the paper's reference
+// [23]) that motivates the whole idea — under migratory sharing, most
+// ownership acquisitions invalidate exactly one remote copy.
+//
+// Usage:
+//
+//	classify                 # all five applications
+//	classify -apps MP3D      # one application
+//	classify -cache 16384    # score under replacement pressure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"migratory/internal/core"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/sim"
+	"migratory/internal/workload"
+)
+
+func main() {
+	var (
+		apps   = flag.String("apps", "", "comma-separated app subset (default: all five)")
+		length = flag.Int("length", 0, "trace length override (0 = per-app default)")
+		seed   = flag.Int64("seed", 1993, "workload generator seed")
+		nodes  = flag.Int("nodes", 16, "processor count")
+		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
+	)
+	flag.Parse()
+
+	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	} else {
+		for _, p := range workload.Profiles() {
+			opts.Apps = append(opts.Apps, p.Name)
+		}
+	}
+
+	fmt.Println("On-line detection vs off-line ground truth (shared blocks only):")
+	fmt.Println()
+	var all []sim.Accuracy
+	for _, app := range opts.Apps {
+		rows, err := sim.ClassifierAccuracy(app, opts, *cache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+			os.Exit(1)
+		}
+		all = append(all, rows...)
+	}
+	if err := sim.RenderAccuracy(all).Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Println("Invalidation-pattern histogram (conventional protocol): remote copies")
+	fmt.Println("invalidated per ownership acquisition — the Weber–Gupta motivation for")
+	fmt.Println("migratory detection.")
+	fmt.Println()
+	geom := memory.MustGeometry(16, 4096)
+	for _, app := range opts.Apps {
+		prof, err := workload.ProfileByName(app)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+			os.Exit(1)
+		}
+		accs, err := workload.Generate(prof, *nodes, *seed, *length)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+			os.Exit(1)
+		}
+		sys, err := directory.New(directory.Config{
+			Nodes: *nodes, Geometry: geom, CacheBytes: *cache,
+			Policy:    core.Conventional,
+			Placement: placement.UsageBased(accs, geom, *nodes),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sys.Run(accs); err != nil {
+			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
+			os.Exit(1)
+		}
+		hist := sys.InvalidationHistogram()
+		sizes := make([]int, 0, len(hist))
+		var total uint64
+		for sz, c := range hist {
+			sizes = append(sizes, sz)
+			total += c
+		}
+		sort.Ints(sizes)
+		fmt.Printf("%-12s", app)
+		for _, sz := range sizes {
+			fmt.Printf("  %d:%5.1f%%", sz, 100*float64(hist[sz])/float64(total))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,118 @@
+// Command migsim regenerates the paper's trace-driven directory-protocol
+// experiments: Table 2 (message counts by cache size), Table 3 (message
+// counts by block size with infinite caches), and the §4.1 weighted
+// cost-ratio analysis.
+//
+// Usage:
+//
+//	migsim -table 2                 # Table 2 (all five apps, four protocols)
+//	migsim -table 3 -apps MP3D      # Table 3, one app
+//	migsim -table 2 -ratios         # add the 2:1 / 4:1 cost-ratio analysis
+//	migsim -length 100000 -seed 7   # shorter traces, different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"migratory/internal/sim"
+	"migratory/internal/trace"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
+		apps    = flag.String("apps", "", "comma-separated app subset (default: all five)")
+		length  = flag.Int("length", 0, "trace length override (0 = per-app default)")
+		seed    = flag.Int64("seed", 1993, "workload generator seed")
+		nodes   = flag.Int("nodes", 16, "processor count")
+		ratios  = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
+		format  = flag.String("format", "table", "output format: table, csv, or json")
+		traceIn = flag.String("trace", "", "run the sweep over a binary trace file (from tracegen) instead of the built-in workloads")
+	)
+	flag.Parse()
+
+	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+
+	var prepared []*sim.App
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+			os.Exit(1)
+		}
+		accs, err := trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+			os.Exit(1)
+		}
+		prepared = []*sim.App{sim.NewApp(*traceIn, accs, *nodes)}
+	}
+
+	var (
+		sw  *sim.Sweep
+		err error
+	)
+	switch {
+	case *table == 2 && prepared != nil:
+		sw, err = sim.Table2Apps(prepared, opts)
+	case *table == 3 && prepared != nil:
+		sw, err = sim.Table3Apps(prepared, opts)
+	case *table == 2:
+		sw, err = sim.Table2(opts)
+	case *table == 3:
+		sw, err = sim.Table3(opts)
+	default:
+		fmt.Fprintf(os.Stderr, "migsim: unknown table %d (want 2 or 3)\n", *table)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "csv":
+		fmt.Print(sw.CSV())
+		return
+	case "json":
+		out, err := sw.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	case "table":
+		// fall through
+	default:
+		fmt.Fprintf(os.Stderr, "migsim: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	title := "Table 2: message counts (thousands) by cache size, application, and protocol (16-byte blocks)"
+	if *table == 3 {
+		title = "Table 3: message counts (thousands) by block size, application, and protocol (infinite caches)"
+	}
+	fmt.Println(title)
+	fmt.Println()
+	if err := sw.Render().Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *ratios {
+		fmt.Println()
+		fmt.Println("Cost-ratio analysis (§4.1): % reduction under data:short message cost ratios")
+		fmt.Println()
+		if err := sw.CostRatioTable().Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command tracegen generates, inspects, and converts the synthetic
+// SPLASH-like shared-memory traces used by the simulators.
+//
+// Usage:
+//
+//	tracegen -app MP3D -o mp3d.trc            # generate a binary trace
+//	tracegen -app Water -stats                # print trace statistics
+//	tracegen -in mp3d.trc -stats              # analyze an existing trace
+//	tracegen -list                            # list available profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "", "application profile to generate")
+		in        = flag.String("in", "", "read an existing binary trace instead of generating")
+		out       = flag.String("o", "", "write the trace to this file (binary format)")
+		length    = flag.Int("length", 0, "trace length (0 = profile default)")
+		seed      = flag.Int64("seed", 1993, "generator seed")
+		nodes     = flag.Int("nodes", 16, "processor count")
+		blockSize = flag.Int("block", 16, "block size for the statistics")
+		stats     = flag.Bool("stats", false, "print trace statistics")
+		list      = flag.Bool("list", false, "list available application profiles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-12s %s\n", "profile", "footprint", "segments")
+		for _, p := range workload.Profiles() {
+			segs := ""
+			for i, s := range p.Segments {
+				if i > 0 {
+					segs += ", "
+				}
+				segs += fmt.Sprintf("%s (%s, %d x %dB)", s.Name, s.Kind, s.Objects, s.ObjWords*4)
+			}
+			fmt.Printf("%-12s %6d KB    %s\n", p.Name, p.FootprintKB(), segs)
+		}
+		return
+	}
+
+	var accs []trace.Access
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		accs, err = trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *app != "":
+		prof, err := workload.ProfileByName(*app)
+		if err != nil {
+			fatal(err)
+		}
+		accs, err = workload.Generate(prof, *nodes, *seed, *length)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -app, -in, or -list")
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteTo(f, accs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d accesses to %s\n", len(accs), *out)
+	}
+
+	if *stats || *out == "" {
+		geom, err := memory.NewGeometry(*blockSize, 4096)
+		if err != nil {
+			fatal(err)
+		}
+		st := trace.Analyze(accs, geom)
+		fmt.Print(st)
+		for _, pl := range []placement.Policy{
+			placement.NewRoundRobin(*nodes),
+			placement.FirstTouch(accs, geom, *nodes),
+			placement.UsageBased(accs, geom, *nodes),
+		} {
+			fmt.Printf("local access fraction under %-11s placement: %.1f%%\n",
+				pl.Name(), 100*placement.LocalFraction(accs, geom, pl))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

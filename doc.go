@@ -1,0 +1,41 @@
+// Package migratory is a library reproduction of "Adaptive Cache Coherency
+// for Detecting Migratory Shared Data" (Cox & Fowler, ISCA 1993).
+//
+// The paper observes that a large share of shared data in parallel programs
+// is migratory — read and written by one processor at a time, moving from
+// processor to processor — and that a write-invalidate protocol can halve
+// the coherence traffic for such data by detecting the pattern on line and
+// switching the affected blocks from replicate-on-read-miss to
+// migrate-on-read-miss. This module implements:
+//
+//   - the migratory classification engine of the paper's Figure 3, with the
+//     conservative, basic, and aggressive policy variants of §4.1 plus the
+//     conventional baseline;
+//   - a directory-based CC-NUMA protocol simulator with the Table 1
+//     inter-node message cost model, set-associative caches, and page
+//     placement policies;
+//   - the adaptive snooping bus protocol of Figures 1 and 2 (an extended
+//     MESI with Shared-2, Migratory-Clean, and Migratory-Dirty states),
+//     alongside conventional MESI and a Sequent-Symmetry-style baseline;
+//   - synthetic SPLASH-like workload generators standing in for the paper's
+//     Tango traces of Cholesky, LocusRoute, MP3D, Pthor, and Water;
+//   - a DASH-like timing model reproducing the §4.2 execution-time study;
+//   - sweep drivers that regenerate the paper's Table 2, Table 3, cost-ratio
+//     analysis, and bus results.
+//
+// The quickest way in:
+//
+//	accs, _ := migratory.GenerateWorkload("MP3D", 16, 1, 100000)
+//	sys, _ := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+//	    Nodes:     16,
+//	    Geometry:  migratory.MustGeometry(16, 4096),
+//	    Policy:    migratory.Aggressive,
+//	    Placement: migratory.RoundRobinPlacement(16),
+//	})
+//	_ = sys.Run(accs)
+//	fmt.Println(sys.Messages())
+//
+// The cmd/ directory holds CLIs that regenerate each of the paper's tables
+// and figures; see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for measured-versus-published results.
+package migratory

@@ -1,0 +1,62 @@
+// Quickstart: the paper's §2 example, end to end.
+//
+// A shared datum migrates between processors P1..P4, each reading then
+// writing it. Under the conventional replicate-on-read-miss protocol every
+// migration costs a read-miss transaction plus an invalidation
+// transaction; the adaptive protocol detects the pattern and halves the
+// traffic by migrating the block on the read miss.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"migratory"
+)
+
+func main() {
+	// A 16-node CC-NUMA machine with 16-byte blocks and 4 KB pages. The
+	// datum lives on a page homed at node 0; the workers are remote.
+	geom := migratory.MustGeometry(16, 4096)
+
+	// The access pattern of a lock-protected counter: each worker in turn
+	// reads the current value and writes an updated one.
+	var accs []migratory.Access
+	for round := 0; round < 50; round++ {
+		for n := migratory.NodeID(1); n <= 4; n++ {
+			accs = append(accs,
+				migratory.Access{Node: n, Kind: migratory.Read, Addr: 0x40},
+				migratory.Access{Node: n, Kind: migratory.Write, Addr: 0x40},
+			)
+		}
+	}
+
+	fmt.Println("migratory counter, 200 turns across 4 workers:")
+	fmt.Println()
+	for _, policy := range migratory.Policies() {
+		sys, err := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+			Nodes:     16,
+			Geometry:  geom,
+			Policy:    policy,
+			Placement: migratory.RoundRobinPlacement(16),
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.Run(accs); err != nil {
+			panic(err)
+		}
+		m := sys.Messages()
+		c := sys.Counters()
+		fmt.Printf("%-13s %3d short + %3d data messages  (%3d migrations, %3d ownership upgrades)\n",
+			policy.Name, m.Short, m.Data, c.Migrations, c.WriteUpgrade)
+	}
+
+	fmt.Println()
+	fmt.Println("The adaptive protocols approach the theoretical maximum saving of 50%:")
+	fmt.Println("once a block is classified migratory, the read miss hands over an")
+	fmt.Println("exclusive copy and the subsequent write completes silently.")
+}

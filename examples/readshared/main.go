@@ -1,0 +1,84 @@
+// Read-shared data: the pattern the migratory optimization must not break.
+//
+// A configuration table is written once by its owner and then read by every
+// worker, repeatedly. A pure migrate-on-read-miss policy (Sequent Symmetry
+// model B, §5) keeps stealing the block from reader to reader; the paper's
+// adaptive protocol detects the first clean handoff, declassifies the
+// block, and replicates like the conventional protocol — the worst case is
+// a single extra transaction per block.
+//
+// Run with:
+//
+//	go run ./examples/readshared
+package main
+
+import (
+	"fmt"
+
+	"migratory"
+)
+
+func main() {
+	geom := migratory.MustGeometry(16, 4096)
+
+	// Node 0 initializes a 1 KB table; then three rounds of all 15 other
+	// nodes reading all of it.
+	var accs []migratory.Access
+	for w := 0; w < 256; w++ {
+		accs = append(accs, migratory.Access{Node: 0, Kind: migratory.Write, Addr: migratory.Addr(w * 4)})
+	}
+	for round := 0; round < 3; round++ {
+		for n := migratory.NodeID(1); n < 16; n++ {
+			for w := 0; w < 256; w++ {
+				accs = append(accs, migratory.Access{Node: n, Kind: migratory.Read, Addr: migratory.Addr(w * 4)})
+			}
+		}
+	}
+
+	fmt.Println("write-once read-many table, directory protocols:")
+	var base migratory.Msgs
+	for _, policy := range migratory.Policies() {
+		sys, err := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+			Nodes:          16,
+			Geometry:       geom,
+			Policy:         policy,
+			Placement:      migratory.RoundRobinPlacement(16),
+			CheckCoherence: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.Run(accs); err != nil {
+			panic(err)
+		}
+		m := sys.Messages()
+		if policy.Name == "conventional" {
+			base = m
+			fmt.Printf("  %-13s %5d short + %5d data\n", policy.Name, m.Short, m.Data)
+			continue
+		}
+		fmt.Printf("  %-13s %5d short + %5d data  (%+.1f%% vs conventional)\n",
+			policy.Name, m.Short, m.Data, -migratory.Reduction(base, m))
+	}
+
+	fmt.Println()
+	fmt.Println("the same pattern on the bus protocols:")
+	for _, p := range []migratory.BusProtocol{migratory.BusMESI, migratory.BusAdaptive, migratory.BusSymmetry} {
+		s, err := migratory.NewBusSystem(migratory.BusConfig{
+			Nodes: 16, Geometry: geom, Protocol: p, CheckCoherence: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := s.Run(accs); err != nil {
+			panic(err)
+		}
+		c := s.Counts()
+		fmt.Printf("  %-10s %5d read misses, %4d invalidations, %5d total transactions\n",
+			p, c.ReadMiss, c.Invalidation, c.Total())
+	}
+	fmt.Println()
+	fmt.Println("Symmetry's unconditional migration forces the readers to keep stealing")
+	fmt.Println("the block; the adaptive protocol declassifies after one clean handoff")
+	fmt.Println("and matches MESI almost exactly.")
+}

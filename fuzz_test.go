@@ -1,0 +1,127 @@
+package migratory
+
+import (
+	"bytes"
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/snoop"
+	"migratory/internal/trace"
+)
+
+// decodeAccesses turns fuzzer bytes into a trace over a small contended
+// address space: 2 bytes per access (node+kind, block).
+func decodeAccesses(data []byte, nodes, blocks int) []trace.Access {
+	var accs []trace.Access
+	for i := 0; i+1 < len(data); i += 2 {
+		accs = append(accs, trace.Access{
+			Node: memory.NodeID(int(data[i]>>1) % nodes),
+			Kind: trace.Kind(data[i] & 1),
+			Addr: memory.Addr(int(data[i+1]) % blocks * 16),
+		})
+	}
+	return accs
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x00, 0x03, 0x00, 0x04, 0x00}) // migratory-ish
+	f.Add([]byte{0x01, 0x00, 0x02, 0x00, 0x04, 0x00, 0x06, 0x00})
+	seed := make([]byte, 128)
+	for i := range seed {
+		seed[i] = byte(i*7 + 3)
+	}
+	f.Add(seed)
+}
+
+// FuzzDirectoryProtocols hammers every directory policy with arbitrary
+// traces, checking the structural invariants and that no processor ever
+// observes a stale value.
+func FuzzDirectoryProtocols(f *testing.F) {
+	fuzzSeeds(f)
+	geom := memory.MustGeometry(16, 4096)
+	policies := append(core.Policies(), core.Stenstrom)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data, 5, 12)
+		for _, pol := range policies {
+			sys, err := directory.New(directory.Config{
+				Nodes: 5, Geometry: geom, CacheBytes: 128, Assoc: 2,
+				Policy: pol, Placement: placement.NewRoundRobin(5),
+				CheckCoherence: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, a := range accs {
+				if err := sys.Access(a); err != nil {
+					t.Fatalf("%s: access %d (%v): %v", pol.Name, i, a, err)
+				}
+			}
+			if err := sys.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", pol.Name, err)
+			}
+		}
+	})
+}
+
+// FuzzSnoopProtocols is the bus-side twin, covering all five protocols and
+// a hysteresis variant.
+func FuzzSnoopProtocols(f *testing.F) {
+	fuzzSeeds(f)
+	geom := memory.MustGeometry(16, 4096)
+	type variant struct {
+		p snoop.Protocol
+		h int
+	}
+	variants := []variant{
+		{snoop.MESI, 1}, {snoop.Adaptive, 1}, {snoop.Adaptive, 2},
+		{snoop.AdaptiveMigrateFirst, 1}, {snoop.Symmetry, 1}, {snoop.UpdateOnce, 1}, {snoop.Berkeley, 1},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data, 5, 12)
+		for _, v := range variants {
+			sys, err := snoop.New(snoop.Config{
+				Nodes: 5, Geometry: geom, CacheBytes: 128, Assoc: 2,
+				Protocol: v.p, Hysteresis: v.h, CheckCoherence: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, a := range accs {
+				if err := sys.Access(a); err != nil {
+					t.Fatalf("%s/h%d: access %d (%v): %v", v.p, v.h, i, a, err)
+				}
+			}
+			if err := sys.CheckInvariants(); err != nil {
+				t.Fatalf("%s/h%d: %v", v.p, v.h, err)
+			}
+		}
+	})
+}
+
+// FuzzTraceCodec round-trips arbitrary traces through the binary format.
+func FuzzTraceCodec(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data, 64, 250)
+		var buf bytes.Buffer
+		if err := trace.WriteTo(&buf, accs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(accs) {
+			t.Fatalf("round trip: %d != %d", len(got), len(accs))
+		}
+		for i := range accs {
+			if got[i] != accs[i] {
+				t.Fatalf("record %d: %v != %v", i, got[i], accs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module migratory
+
+go 1.22

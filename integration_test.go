@@ -1,0 +1,218 @@
+package migratory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"migratory/internal/core"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/snoop"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+// randomTrace builds an arbitrary access sequence over a small, highly
+// contended address space: the harshest conditions for protocol state
+// machines.
+func randomTrace(seed int64, n int, nodes, blocks int) []trace.Access {
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]trace.Access, n)
+	for i := range accs {
+		accs[i] = trace.Access{
+			Node: memory.NodeID(rng.Intn(nodes)),
+			Kind: trace.Kind(rng.Intn(2)),
+			Addr: memory.Addr(rng.Intn(blocks) * 16),
+		}
+	}
+	return accs
+}
+
+// TestDirectoryCoherenceUnderRandomTraces: every policy preserves the
+// structural invariants and never lets a processor read a stale version,
+// under arbitrary interleavings, with both finite and infinite caches.
+func TestDirectoryCoherenceUnderRandomTraces(t *testing.T) {
+	geom := memory.MustGeometry(16, 4096)
+	f := func(seed int64) bool {
+		accs := randomTrace(seed, 600, 6, 24)
+		for _, pol := range core.Policies() {
+			for _, cacheBytes := range []int{0, 128} {
+				sys, err := directory.New(directory.Config{
+					Nodes: 6, Geometry: geom, CacheBytes: cacheBytes, Assoc: 2,
+					Policy: pol, Placement: placement.NewRoundRobin(6),
+					CheckCoherence: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, a := range accs {
+					if err := sys.Access(a); err != nil {
+						t.Logf("seed %d policy %s cache %d access %d (%v): %v",
+							seed, pol.Name, cacheBytes, i, a, err)
+						return false
+					}
+					if i%16 == 0 {
+						if err := sys.CheckInvariants(); err != nil {
+							t.Logf("seed %d policy %s cache %d after access %d: %v",
+								seed, pol.Name, cacheBytes, i, err)
+							return false
+						}
+					}
+				}
+				if err := sys.CheckInvariants(); err != nil {
+					t.Logf("seed %d policy %s cache %d final: %v", seed, pol.Name, cacheBytes, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnoopCoherenceUnderRandomTraces is the bus-side twin.
+func TestSnoopCoherenceUnderRandomTraces(t *testing.T) {
+	geom := memory.MustGeometry(16, 4096)
+	protos := []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst, snoop.Symmetry, snoop.Berkeley, snoop.UpdateOnce}
+	f := func(seed int64) bool {
+		accs := randomTrace(seed, 600, 6, 24)
+		for _, p := range protos {
+			for _, h := range []int{1, 2} {
+				if !p.Adaptive() && h != 1 {
+					continue
+				}
+				sys, err := snoop.New(snoop.Config{
+					Nodes: 6, Geometry: geom, CacheBytes: 128, Assoc: 2,
+					Protocol: p, Hysteresis: h, CheckCoherence: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, a := range accs {
+					if err := sys.Access(a); err != nil {
+						t.Logf("seed %d proto %s h%d access %d (%v): %v", seed, p, h, i, a, err)
+						return false
+					}
+					if i%16 == 0 {
+						if err := sys.CheckInvariants(); err != nil {
+							t.Logf("seed %d proto %s h%d after access %d: %v", seed, p, h, i, err)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdaptiveNeverWorseOnPaperWorkloads asserts the §6 claim for the
+// directory protocols: "In our trace-driven simulations, it never sent more
+// messages than a standard replicate-on-read-miss protocol" — checked per
+// application across all three adaptive variants.
+func TestAdaptiveNeverWorseOnPaperWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-app sweep")
+	}
+	geom := memory.MustGeometry(16, 4096)
+	for _, prof := range workload.Profiles() {
+		accs, err := workload.Generate(prof, 16, 7, 80_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := placement.UsageBased(accs, geom, 16)
+		var base int
+		for i, pol := range core.Policies() {
+			sys, err := directory.New(directory.Config{
+				Nodes: 16, Geometry: geom, CacheBytes: 64 << 10,
+				Policy: pol, Placement: pl,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Run(accs); err != nil {
+				t.Fatal(err)
+			}
+			total := sys.Messages().Total()
+			if i == 0 {
+				base = total
+				continue
+			}
+			if total > base {
+				t.Errorf("%s: %s sent %d messages, conventional %d", prof.Name, pol.Name, total, base)
+			}
+		}
+	}
+}
+
+// TestDirectoryAndBusAgreeOnDirection: on the five applications, the
+// directory-based and bus-based adaptive protocols must agree about who
+// wins and roughly how strongly (the paper: "the two classes of protocol
+// behave similarly").
+func TestDirectoryAndBusAgreeOnDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-app sweep")
+	}
+	geom := memory.MustGeometry(16, 4096)
+	for _, prof := range workload.Profiles() {
+		accs, err := workload.Generate(prof, 16, 7, 80_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := placement.UsageBased(accs, geom, 16)
+
+		var dirRed float64
+		{
+			var base int
+			for i, pol := range []core.Policy{core.Conventional, core.Basic} {
+				sys, err := directory.New(directory.Config{
+					Nodes: 16, Geometry: geom, CacheBytes: 64 << 10, Policy: pol, Placement: pl,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Run(accs); err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					base = sys.Messages().Total()
+				} else {
+					dirRed = 100 * (1 - float64(sys.Messages().Total())/float64(base))
+				}
+			}
+		}
+		var busRed float64
+		{
+			var base uint64
+			for i, p := range []snoop.Protocol{snoop.MESI, snoop.Adaptive} {
+				sys, err := snoop.New(snoop.Config{
+					Nodes: 16, Geometry: geom, CacheBytes: 64 << 10, Protocol: p,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Run(accs); err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					base = sys.Counts().Total()
+				} else {
+					busRed = 100 * (1 - float64(sys.Counts().Total())/float64(base))
+				}
+			}
+		}
+		if dirRed > 0 != (busRed > -1) {
+			t.Errorf("%s: directory %.1f%% and bus %.1f%% disagree on direction", prof.Name, dirRed, busRed)
+		}
+		if dirRed > 25 && busRed < 10 {
+			t.Errorf("%s: directory strong (%.1f%%) but bus weak (%.1f%%)", prof.Name, dirRed, busRed)
+		}
+	}
+}

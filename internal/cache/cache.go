@@ -1,0 +1,281 @@
+// Package cache models the per-node private caches of the simulated
+// multiprocessor: 4-way set-associative with LRU replacement, matching the
+// paper's simplified architectural model (§3.3). An "infinite" mode with no
+// capacity or conflict misses backs the block-size study (Table 3), which
+// the paper runs with "caches large enough to eliminate capacity misses".
+//
+// The cache stores protocol-defined line states as opaque small integers;
+// coherence semantics live in the protocol engines (internal/directory and
+// internal/snoop), which react to the victims this package reports.
+package cache
+
+import (
+	"fmt"
+
+	"migratory/internal/memory"
+)
+
+// State is a protocol-defined per-line state. The cache only distinguishes
+// present from absent; protocols define their own state enumerations and the
+// meaning of Dirty.
+type State uint8
+
+// Line is one cache entry. Protocol engines mutate State, Dirty, and
+// Version in place through the pointer returned by Lookup/Insert.
+type Line struct {
+	Block memory.BlockID
+	State State
+	Dirty bool
+	// Version is an instrumentation field for coherence checking: the
+	// simulated "data value" of the block, maintained by the protocol
+	// engines as a monotonically increasing write counter.
+	Version uint64
+	// Aux is protocol-defined auxiliary per-line state (for example, the
+	// small hysteresis counter the paper suggests for adaptive snooping
+	// protocols, §2.1). The cache itself never touches it.
+	Aux uint8
+}
+
+// Config describes one cache.
+type Config struct {
+	// SizeBytes is the total capacity. Zero means infinite (no capacity or
+	// conflict misses).
+	SizeBytes int
+	// BlockSize in bytes. Must match the experiment geometry.
+	BlockSize int
+	// Assoc is the set associativity. The paper uses 4-way throughout.
+	// Ignored for infinite caches.
+	Assoc int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: block size %d is not a positive power of two", c.BlockSize)
+	}
+	if c.SizeBytes == 0 {
+		return nil // infinite
+	}
+	if c.SizeBytes < 0 {
+		return fmt.Errorf("cache: negative size %d", c.SizeBytes)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: associativity %d must be positive", c.Assoc)
+	}
+	lines := c.SizeBytes / c.BlockSize
+	if lines*c.BlockSize != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of block size %d", c.SizeBytes, c.BlockSize)
+	}
+	if lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is a single node's private cache. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	cfg      Config
+	sets     []set // nil for infinite caches
+	setMask  memory.BlockID
+	infinite map[memory.BlockID]*Line // used when cfg.SizeBytes == 0
+	clock    uint64
+
+	// Stats.
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type way struct {
+	line  Line
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+type set struct {
+	ways []way
+}
+
+// New builds a cache from cfg. It panics if cfg is invalid; callers
+// configure caches from validated experiment descriptions.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	if cfg.SizeBytes == 0 {
+		c.infinite = make(map[memory.BlockID]*Line)
+		return c
+	}
+	nsets := cfg.SizeBytes / cfg.BlockSize / cfg.Assoc
+	c.sets = make([]set, nsets)
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, cfg.Assoc)
+	}
+	c.setMask = memory.BlockID(nsets - 1)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Infinite reports whether the cache has unbounded capacity.
+func (c *Cache) Infinite() bool { return c.infinite != nil }
+
+func (c *Cache) setFor(b memory.BlockID) *set { return &c.sets[b&c.setMask] }
+
+// Lookup returns the line holding block b, touching LRU state, or nil if
+// the block is not cached. The returned pointer stays valid until the line
+// is evicted or invalidated.
+func (c *Cache) Lookup(b memory.BlockID) *Line {
+	c.clock++
+	if c.infinite != nil {
+		if l, ok := c.infinite[b]; ok {
+			c.hits++
+			return l
+		}
+		c.misses++
+		return nil
+	}
+	s := c.setFor(b)
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.line.Block == b {
+			w.used = c.clock
+			c.hits++
+			return &w.line
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// Peek returns the line holding block b without touching LRU state or
+// hit/miss statistics. Protocol engines use it when servicing remote
+// requests (a remote read miss probing this cache is not a local access).
+func (c *Cache) Peek(b memory.BlockID) *Line {
+	if c.infinite != nil {
+		return c.infinite[b]
+	}
+	s := c.setFor(b)
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.line.Block == b {
+			return &w.line
+		}
+	}
+	return nil
+}
+
+// Insert adds block b with the given state, evicting the LRU line of the
+// set if necessary. It returns a pointer to the inserted line and, if an
+// eviction occurred, a copy of the victim. Inserting a block that is
+// already present panics: protocol engines must Lookup first.
+func (c *Cache) Insert(b memory.BlockID, st State) (*Line, *Line) {
+	c.clock++
+	if c.infinite != nil {
+		if _, ok := c.infinite[b]; ok {
+			panic(fmt.Sprintf("cache: Insert of present block %d", b))
+		}
+		l := &Line{Block: b, State: st}
+		c.infinite[b] = l
+		return l, nil
+	}
+	s := c.setFor(b)
+	var free *way
+	var victim *way
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.line.Block == b {
+			panic(fmt.Sprintf("cache: Insert of present block %d", b))
+		}
+		if !w.valid {
+			if free == nil {
+				free = w
+			}
+			continue
+		}
+		if victim == nil || w.used < victim.used {
+			victim = w
+		}
+	}
+	var evicted *Line
+	target := free
+	if target == nil {
+		ev := victim.line // copy before overwrite
+		evicted = &ev
+		c.evictions++
+		target = victim
+	}
+	target.valid = true
+	target.line = Line{Block: b, State: st}
+	target.used = c.clock
+	return &target.line, evicted
+}
+
+// Invalidate removes block b if present, returning whether it was present.
+// Invalidation (a coherence action, not a replacement) does not count as an
+// eviction.
+func (c *Cache) Invalidate(b memory.BlockID) bool {
+	if c.infinite != nil {
+		if _, ok := c.infinite[b]; !ok {
+			return false
+		}
+		delete(c.infinite, b)
+		return true
+	}
+	s := c.setFor(b)
+	for i := range s.ways {
+		w := &s.ways[i]
+		if w.valid && w.line.Block == b {
+			w.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of valid lines.
+func (c *Cache) Len() int {
+	if c.infinite != nil {
+		return len(c.infinite)
+	}
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].ways {
+			if c.sets[i].ways[j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Blocks returns the IDs of all valid lines, in no particular order.
+func (c *Cache) Blocks() []memory.BlockID {
+	out := make([]memory.BlockID, 0, c.Len())
+	if c.infinite != nil {
+		for b := range c.infinite {
+			out = append(out, b)
+		}
+		return out
+	}
+	for i := range c.sets {
+		for j := range c.sets[i].ways {
+			if c.sets[i].ways[j].valid {
+				out = append(out, c.sets[i].ways[j].line.Block)
+			}
+		}
+	}
+	return out
+}
+
+// Stats reports hits, misses, and evictions since construction.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"migratory/internal/memory"
+)
+
+// refCache is a deliberately naive reference implementation of a
+// set-associative LRU cache, kept as obviously correct as possible: each
+// set is an ordered slice, most recently used last.
+type refCache struct {
+	sets      [][]memory.BlockID
+	assoc     int
+	evictions int
+}
+
+func newRef(sets, assoc int) *refCache {
+	return &refCache{sets: make([][]memory.BlockID, sets), assoc: assoc}
+}
+
+func (r *refCache) set(b memory.BlockID) int { return int(b) % len(r.sets) }
+
+func (r *refCache) lookup(b memory.BlockID) bool {
+	s := r.set(b)
+	for i, x := range r.sets[s] {
+		if x == b {
+			// Move to MRU position.
+			r.sets[s] = append(append(append([]memory.BlockID{}, r.sets[s][:i]...), r.sets[s][i+1:]...), b)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refCache) insert(b memory.BlockID) (victim memory.BlockID, evicted bool) {
+	s := r.set(b)
+	if len(r.sets[s]) == r.assoc {
+		victim = r.sets[s][0]
+		r.sets[s] = r.sets[s][1:]
+		evicted = true
+		r.evictions++
+	}
+	r.sets[s] = append(r.sets[s], b)
+	return victim, evicted
+}
+
+func (r *refCache) invalidate(b memory.BlockID) bool {
+	s := r.set(b)
+	for i, x := range r.sets[s] {
+		if x == b {
+			r.sets[s] = append(append([]memory.BlockID{}, r.sets[s][:i]...), r.sets[s][i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// TestAgainstReferenceModel runs long random operation sequences against
+// both implementations and demands identical observable behaviour: hit or
+// miss on every lookup, the same victim on every insert, and the same
+// eviction totals.
+func TestAgainstReferenceModel(t *testing.T) {
+	const (
+		sets  = 8
+		assoc = 4
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{SizeBytes: sets * assoc * 16, BlockSize: 16, Assoc: assoc})
+		ref := newRef(sets, assoc)
+		for op := 0; op < 5000; op++ {
+			b := memory.BlockID(rng.Intn(64))
+			switch rng.Intn(3) {
+			case 0: // access: lookup, insert on miss
+				hit := c.Lookup(b) != nil
+				refHit := ref.lookup(b)
+				if hit != refHit {
+					t.Fatalf("seed %d op %d: lookup(%d) = %v, ref %v", seed, op, b, hit, refHit)
+				}
+				if !hit {
+					_, victim := c.Insert(b, 0)
+					refVictim, refEvicted := ref.insert(b)
+					if (victim != nil) != refEvicted {
+						t.Fatalf("seed %d op %d: insert(%d) evicted=%v, ref %v", seed, op, b, victim != nil, refEvicted)
+					}
+					if victim != nil && victim.Block != refVictim {
+						t.Fatalf("seed %d op %d: insert(%d) victim %d, ref %d", seed, op, b, victim.Block, refVictim)
+					}
+				}
+			case 1: // invalidate
+				got := c.Invalidate(b)
+				want := ref.invalidate(b)
+				if got != want {
+					t.Fatalf("seed %d op %d: invalidate(%d) = %v, ref %v", seed, op, b, got, want)
+				}
+			case 2: // peek must not disturb LRU
+				present := c.Peek(b) != nil
+				var refPresent bool
+				for _, x := range ref.sets[ref.set(b)] {
+					if x == b {
+						refPresent = true
+					}
+				}
+				if present != refPresent {
+					t.Fatalf("seed %d op %d: peek(%d) = %v, ref %v", seed, op, b, present, refPresent)
+				}
+			}
+		}
+		_, _, evs := c.Stats()
+		if int(evs) != ref.evictions {
+			t.Fatalf("seed %d: evictions %d, ref %d", seed, evs, ref.evictions)
+		}
+		if c.Len() != lenRef(ref) {
+			t.Fatalf("seed %d: len %d, ref %d", seed, c.Len(), lenRef(ref))
+		}
+	}
+}
+
+func lenRef(r *refCache) int {
+	n := 0
+	for _, s := range r.sets {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"migratory/internal/memory"
+)
+
+// CopyCount is the directory's count of copies created since the block was
+// last held exclusively (or uncached). Following the paper (§2.2), it
+// deliberately counts copies *created*, not copies currently existing, so
+// that silent drops of clean copies cannot make a three-copy history look
+// like migratory two-copy behaviour.
+type CopyCount uint8
+
+const (
+	// Uncached: no copies exist.
+	Uncached CopyCount = iota
+	// OneCopy: one copy has been created since the last exclusive interval.
+	OneCopy
+	// TwoCopies: two copies have been created.
+	TwoCopies
+	// ThreeOrMore: three or more copies have been created.
+	ThreeOrMore
+)
+
+// String names the count, including the /MIGRATORY qualifier convention
+// used by Figure 3 when rendered by Classifier.String.
+func (c CopyCount) String() string {
+	switch c {
+	case Uncached:
+		return "UNCACHED"
+	case OneCopy:
+		return "ONE COPY"
+	case TwoCopies:
+		return "TWO COPIES"
+	case ThreeOrMore:
+		return "THREE OR MORE COPIES"
+	default:
+		return fmt.Sprintf("CopyCount(%d)", uint8(c))
+	}
+}
+
+// Classifier is the adaptive portion of one block's directory entry: the
+// copies-created state, the migratory classification, the identity of the
+// last invalidator, and the hysteresis evidence counter (the generalized
+// "one migration" flag of Figure 3).
+//
+// The Classifier is a passive decision engine: the directory engine tells
+// it what happened (read miss, write miss, write hit, block uncached) and
+// asks whether to migrate or replicate. It holds no copy set and sends no
+// messages.
+type Classifier struct {
+	policy Policy
+
+	// Count is the copies-created state.
+	Count CopyCount
+	// Migratory is the current classification.
+	Migratory bool
+	// LastInvalidator is the node that most recently obtained exclusive
+	// write access, or memory.NoNode.
+	LastInvalidator memory.NodeID
+	// Evidence counts successive migratory events toward Hysteresis.
+	Evidence int
+}
+
+// NewClassifier returns the directory entry state for a freshly allocated
+// block under the given policy. The policy must be valid.
+func NewClassifier(p Policy) Classifier {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return Classifier{
+		policy:          p,
+		Count:           Uncached,
+		Migratory:       p.Adaptive && p.InitialMigratory,
+		LastInvalidator: memory.NoNode,
+	}
+}
+
+// Policy returns the policy this classifier runs.
+func (c *Classifier) Policy() Policy { return c.policy }
+
+// record notes one piece of evidence that the block is migratory and
+// classifies it once Hysteresis successive events have been seen. The
+// counter saturates at the threshold: it models a one-or-two-bit hardware
+// field, and larger values carry no information.
+func (c *Classifier) record() {
+	if !c.policy.Adaptive {
+		return
+	}
+	if c.Evidence < c.policy.Hysteresis {
+		c.Evidence++
+	}
+	if c.Evidence >= c.policy.Hysteresis {
+		c.Migratory = true
+	}
+}
+
+// declassify marks the block non-migratory and clears the evidence counter
+// (Figure 3 sets "one migration <- FALSE" whenever it declassifies or
+// replicates).
+func (c *Classifier) declassify() {
+	c.Migratory = false
+	c.Evidence = 0
+}
+
+// ReadMiss applies Figure 3's read-miss handler. dirty reports whether the
+// block has been modified by its current (sole) holder; it is only
+// meaningful when Count is OneCopy. The return value is true when the
+// protocol should *migrate* the block (hand the requester an exclusive,
+// writable copy, invalidating any existing copy in the same transaction)
+// and false when it should *replicate* (hand out a read-only copy).
+func (c *Classifier) ReadMiss(dirty bool) (migrate bool) {
+	switch c.Count {
+	case Uncached:
+		c.Count = OneCopy
+	case OneCopy:
+		if c.Migratory {
+			if !dirty {
+				// The block moved without being modified: evidence that it
+				// is not currently migratory.
+				c.Count = TwoCopies
+				c.declassify()
+			}
+			// Otherwise the block stays ONE COPY/MIGRATORY: the old copy is
+			// invalidated as part of the migration, so exactly one copy
+			// continues to exist.
+		} else {
+			c.Count = TwoCopies
+		}
+	case TwoCopies:
+		c.Count = ThreeOrMore
+	case ThreeOrMore:
+		// null statement
+	}
+	if c.Count == OneCopy && c.Migratory {
+		return true
+	}
+	// Figure 3 clears "one migration" when replicating. Taken literally on
+	// every replication that would make the conservative protocol unable to
+	// classify anything: the two-event migratory pattern necessarily
+	// contains a read miss between the write events (the paper says a block
+	// must "migrate twice under the conventional copy-on-read-miss policy",
+	// and each such migration is a read miss followed by an invalidation).
+	// We therefore clear the evidence only when replication demonstrates
+	// read-sharing — the copy that was just created is at least the third.
+	if c.Count == ThreeOrMore {
+		c.Evidence = 0
+	}
+	return false
+}
+
+// WriteMiss applies Figure 3's write-miss handler. hadCopies reports
+// whether any cached copies existed (Figure 3 titles the handler "write
+// miss invalidating one or more copies"; a write miss to an uncached block
+// skips the classification tests). dirty is as for ReadMiss. After a write
+// miss the requester always holds the sole, writable copy.
+func (c *Classifier) WriteMiss(requester memory.NodeID, hadCopies bool, dirty bool) {
+	switch {
+	case !hadCopies:
+		// Uncached: no evidence either way; the classification (including
+		// an initial or retained "migratory") carries over.
+		c.Count = OneCopy
+	case c.Count == OneCopy && c.Migratory:
+		if !dirty || c.policy.DeclassifyOnWriteMiss {
+			c.declassify()
+		}
+		c.Count = OneCopy
+	case c.LastInvalidator != memory.NoNode && c.LastInvalidator != requester && c.Count == OneCopy:
+		c.record()
+		c.Count = OneCopy
+	default:
+		// Figure 3's bare "else state <- ONE COPY". Note that, verbatim,
+		// this branch does not clear the evidence counter; we follow the
+		// pseudo-code exactly (the write-hit handler's else branch does
+		// clear it).
+		c.Count = OneCopy
+	}
+	c.LastInvalidator = requester
+}
+
+// WriteHit applies Figure 3's two write-hit handlers. invalidatedOthers
+// selects between them: true for "write hit invalidating one or more
+// copies" (the requester held a shared copy alongside others), false for a
+// write hit on a block of which the requester holds the only cached copy
+// ("write hit on a clean, exclusively-held block"). After the call the
+// requester holds the sole, writable copy.
+func (c *Classifier) WriteHit(requester memory.NodeID, invalidatedOthers bool) {
+	if invalidatedOthers {
+		if c.LastInvalidator != memory.NoNode && c.LastInvalidator != requester && c.Count == TwoCopies {
+			c.record()
+		} else {
+			c.declassify()
+		}
+		c.Count = OneCopy
+		c.LastInvalidator = requester
+		return
+	}
+	// Clean, exclusively-held upgrade. This handler fires only for blocks
+	// managed by the replicate policy (a migratory holder already has write
+	// permission and never contacts the directory), so seeing it with
+	// Count == OneCopy and a different last invalidator means the block
+	// migrated through memory: evidence of migratory behaviour spanning an
+	// uncached interval (§2.2).
+	if c.LastInvalidator != memory.NoNode && c.LastInvalidator != requester && c.Count == OneCopy {
+		c.record()
+	} else if c.Count != OneCopy {
+		// Completion of the pseudo-code for a case it leaves implicit: the
+		// copies-created count exceeded one (silent drops shrank the copy
+		// set) but the requester now holds the block exclusively dirty.
+		c.Count = OneCopy
+		c.declassify()
+	}
+	c.LastInvalidator = requester
+}
+
+// BecameUncached records that the last cached copy of the block was dropped
+// or written back. Policies that retain classification keep everything but
+// the copy count; otherwise the entry resets as if never seen.
+func (c *Classifier) BecameUncached() {
+	c.Count = Uncached
+	if !c.policy.RetainWhenUncached {
+		c.Migratory = c.policy.Adaptive && c.policy.InitialMigratory
+		c.Evidence = 0
+		c.LastInvalidator = memory.NoNode
+	}
+}
+
+// String renders the entry in Figure 3's notation, e.g.
+// "ONE COPY/MIGRATORY last=3 evidence=1".
+func (c *Classifier) String() string {
+	s := c.Count.String()
+	if c.Migratory {
+		s += "/MIGRATORY"
+	}
+	if c.LastInvalidator != memory.NoNode {
+		s += fmt.Sprintf(" last=%d", c.LastInvalidator)
+	}
+	if c.Evidence > 0 {
+		s += fmt.Sprintf(" evidence=%d", c.Evidence)
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+// Package cost implements the paper's inter-node message accounting.
+//
+// Table 1 charges each cache operation that requires communication between
+// cache and memory controllers a number of short messages (requests and
+// acknowledgements without data) and a number of data-carrying messages,
+// as a function of whether the home node is local to the initiator, whether
+// the block is clean or dirty, and the cardinality of DistantCopies (the
+// cached copies located at neither the initiator nor the home node).
+//
+// The package also provides the weighted cost models of §4.1: totals where
+// data-carrying messages are charged a multiple of short messages, and the
+// per-16-bytes model used for the large-block analysis.
+package cost
+
+import "fmt"
+
+// Op is a cache operation class from Table 1.
+type Op uint8
+
+const (
+	// ReadMiss covers read misses, including adaptive migratory read misses
+	// (which follow the dirty rows: the owner must be consulted).
+	ReadMiss Op = iota
+	// WriteMiss covers write misses.
+	WriteMiss
+	// WriteHit covers write hits to clean blocks (invalidation/upgrade
+	// requests). Table 1 has no dirty write-hit rows: a write hit on a
+	// dirty block completes locally with no communication.
+	WriteHit
+	// DropClean is the notification sent to the home node when a cache
+	// silently replaces a clean entry (§3.3: the model charges these like
+	// any other message).
+	DropClean
+	// WriteBack is the replacement write-back of a dirty block to its home
+	// node.
+	WriteBack
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case ReadMiss:
+		return "read miss"
+	case WriteMiss:
+		return "write miss"
+	case WriteHit:
+		return "write hit"
+	case DropClean:
+		return "drop clean"
+	case WriteBack:
+		return "write back"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Msgs is a message count: short (no data) and data-carrying.
+type Msgs struct {
+	Short int
+	Data  int
+}
+
+// Add accumulates m2 into m.
+func (m Msgs) Add(m2 Msgs) Msgs { return Msgs{m.Short + m2.Short, m.Data + m2.Data} }
+
+// Total returns Short + Data (the paper's primary 1:1 metric).
+func (m Msgs) Total() int { return m.Short + m.Data }
+
+// Weighted returns Short + ratio*Data, the §4.1 cost model in which
+// data-carrying messages cost ratio times as much as short messages.
+func (m Msgs) Weighted(ratio float64) float64 {
+	return float64(m.Short) + ratio*float64(m.Data)
+}
+
+// PerBytes returns Short + Data*(1 + blockSize/16): one unit per message
+// plus one unit per sixteen bytes of data transmitted (§4.1's large-block
+// cost model).
+func (m Msgs) PerBytes(blockSize int) float64 {
+	perData := 1.0 + float64(blockSize)/16.0
+	return float64(m.Short) + perData*float64(m.Data)
+}
+
+// Charge returns the Table 1 message counts for one operation.
+//
+//	op           the operation class
+//	homeLocal    whether the initiating node is the block's home node
+//	dirty        whether the block is dirty (equivalently: some cache holds
+//	             it with write permission, so the owner must be consulted)
+//	distant      ||DistantCopies||: cached copies at neither the initiator
+//	             nor the home node
+//
+// Charge panics on a negative distant count; protocol engines derive it
+// from a NodeSet and can never produce one.
+func Charge(op Op, homeLocal, dirty bool, distant int) Msgs {
+	if distant < 0 {
+		panic(fmt.Sprintf("cost: negative DistantCopies %d", distant))
+	}
+	switch op {
+	case ReadMiss:
+		switch {
+		case homeLocal && !dirty:
+			return Msgs{0, 0}
+		case homeLocal && dirty:
+			return Msgs{1, 1}
+		case !homeLocal && !dirty:
+			return Msgs{1, 1}
+		default: // remote, dirty
+			return Msgs{1 + distant, 1 + distant}
+		}
+	case WriteMiss:
+		switch {
+		case homeLocal && !dirty:
+			return Msgs{2 * distant, 0}
+		case homeLocal && dirty:
+			return Msgs{1, 1}
+		case !homeLocal && !dirty:
+			return Msgs{1 + 2*distant, 1}
+		default: // remote, dirty
+			return Msgs{1 + distant, 1 + distant}
+		}
+	case WriteHit:
+		// Write hits only require communication for clean blocks.
+		if dirty {
+			return Msgs{0, 0}
+		}
+		if homeLocal {
+			return Msgs{2 * distant, 0}
+		}
+		return Msgs{2 + 2*distant, 0}
+	case DropClean:
+		if homeLocal {
+			return Msgs{0, 0}
+		}
+		return Msgs{1, 0}
+	case WriteBack:
+		if homeLocal {
+			return Msgs{0, 0}
+		}
+		return Msgs{0, 1}
+	default:
+		panic(fmt.Sprintf("cost: unknown op %d", op))
+	}
+}
+
+// Counter accumulates message counts, broken down by operation class.
+type Counter struct {
+	total Msgs
+	byOp  [5]Msgs
+	ops   [5]uint64
+}
+
+// Charge applies Charge and accumulates the result; it returns the counts
+// charged for this operation.
+func (c *Counter) Charge(op Op, homeLocal, dirty bool, distant int) Msgs {
+	m := Charge(op, homeLocal, dirty, distant)
+	c.Accumulate(op, m)
+	return m
+}
+
+// Accumulate adds a pre-computed message count under the given operation
+// class.
+func (c *Counter) Accumulate(op Op, m Msgs) {
+	c.total = c.total.Add(m)
+	c.byOp[op] = c.byOp[op].Add(m)
+	c.ops[op]++
+}
+
+// Total returns the accumulated counts.
+func (c *Counter) Total() Msgs { return c.total }
+
+// ByOp returns the accumulated counts for one operation class.
+func (c *Counter) ByOp(op Op) Msgs { return c.byOp[op] }
+
+// Ops returns how many operations of the class were charged (including
+// zero-message ones).
+func (c *Counter) Ops(op Op) uint64 { return c.ops[op] }
+
+// Reduction returns the percentage reduction of with relative to base under
+// the 1:1 cost model: 100 * (1 - with/base). It returns 0 when base is
+// empty.
+func Reduction(base, with Msgs) float64 {
+	b := base.Total()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(with.Total())/float64(b))
+}
+
+// WeightedReduction is Reduction under the ratio-weighted cost model.
+func WeightedReduction(base, with Msgs, ratio float64) float64 {
+	b := base.Weighted(ratio)
+	if b == 0 {
+		return 0
+	}
+	return 100 * (1 - with.Weighted(ratio)/b)
+}
+
+// PerBytesReduction is Reduction under the per-16-bytes cost model.
+func PerBytesReduction(base, with Msgs, blockSize int) float64 {
+	b := base.PerBytes(blockSize)
+	if b == 0 {
+		return 0
+	}
+	return 100 * (1 - with.PerBytes(blockSize)/b)
+}

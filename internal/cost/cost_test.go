@@ -1,0 +1,237 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1 asserts every row of the paper's Table 1 for DistantCopies of
+// 0, 1, and 3.
+func TestTable1(t *testing.T) {
+	cases := []struct {
+		name      string
+		op        Op
+		homeLocal bool
+		dirty     bool
+		distant   int
+		want      Msgs
+	}{
+		{"read miss local clean", ReadMiss, true, false, 0, Msgs{0, 0}},
+		{"read miss local dirty", ReadMiss, true, true, 0, Msgs{1, 1}},
+		{"read miss remote clean", ReadMiss, false, false, 0, Msgs{1, 1}},
+		{"read miss remote dirty dc0", ReadMiss, false, true, 0, Msgs{1, 1}},
+		{"read miss remote dirty dc1", ReadMiss, false, true, 1, Msgs{2, 2}},
+
+		{"write miss local clean dc0", WriteMiss, true, false, 0, Msgs{0, 0}},
+		{"write miss local clean dc1", WriteMiss, true, false, 1, Msgs{2, 0}},
+		{"write miss local clean dc3", WriteMiss, true, false, 3, Msgs{6, 0}},
+		{"write miss local dirty", WriteMiss, true, true, 0, Msgs{1, 1}},
+		{"write miss remote clean dc0", WriteMiss, false, false, 0, Msgs{1, 1}},
+		{"write miss remote clean dc1", WriteMiss, false, false, 1, Msgs{3, 1}},
+		{"write miss remote clean dc3", WriteMiss, false, false, 3, Msgs{7, 1}},
+		{"write miss remote dirty dc0", WriteMiss, false, true, 0, Msgs{1, 1}},
+		{"write miss remote dirty dc1", WriteMiss, false, true, 1, Msgs{2, 2}},
+
+		{"write hit local clean dc0", WriteHit, true, false, 0, Msgs{0, 0}},
+		{"write hit local clean dc1", WriteHit, true, false, 1, Msgs{2, 0}},
+		{"write hit local clean dc3", WriteHit, true, false, 3, Msgs{6, 0}},
+		{"write hit remote clean dc0", WriteHit, false, false, 0, Msgs{2, 0}},
+		{"write hit remote clean dc1", WriteHit, false, false, 1, Msgs{4, 0}},
+		{"write hit remote clean dc3", WriteHit, false, false, 3, Msgs{8, 0}},
+		{"write hit dirty is free", WriteHit, false, true, 0, Msgs{0, 0}},
+
+		{"drop clean local", DropClean, true, false, 0, Msgs{0, 0}},
+		{"drop clean remote", DropClean, false, false, 0, Msgs{1, 0}},
+		{"write back local", WriteBack, true, true, 0, Msgs{0, 0}},
+		{"write back remote", WriteBack, false, true, 0, Msgs{0, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Charge(c.op, c.homeLocal, c.dirty, c.distant)
+			if got != c.want {
+				t.Fatalf("Charge(%v, local=%v, dirty=%v, dc=%d) = %+v; want %+v",
+					c.op, c.homeLocal, c.dirty, c.distant, got, c.want)
+			}
+		})
+	}
+}
+
+func TestChargePanicsOnNegativeDistant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Charge(ReadMiss, false, true, -1)
+}
+
+func TestChargePanicsOnUnknownOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Charge(Op(99), false, false, 0)
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		ReadMiss:  "read miss",
+		WriteMiss: "write miss",
+		WriteHit:  "write hit",
+		DropClean: "drop clean",
+		WriteBack: "write back",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q", uint8(op), op.String())
+		}
+	}
+	if Op(77).String() != "Op(77)" {
+		t.Errorf("unknown op: %q", Op(77).String())
+	}
+}
+
+func TestMsgsArithmetic(t *testing.T) {
+	m := Msgs{3, 2}
+	if got := m.Add(Msgs{1, 5}); got != (Msgs{4, 7}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if m.Total() != 5 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	if got := m.Weighted(2); got != 7 {
+		t.Fatalf("Weighted(2) = %v", got)
+	}
+	if got := m.Weighted(4); got != 11 {
+		t.Fatalf("Weighted(4) = %v", got)
+	}
+	// Per-bytes: data message = 1 + 64/16 = 5 units at 64-byte blocks.
+	if got := m.PerBytes(64); got != 3+2*5 {
+		t.Fatalf("PerBytes(64) = %v", got)
+	}
+	if got := m.PerBytes(16); got != 3+2*2 {
+		t.Fatalf("PerBytes(16) = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	got := c.Charge(ReadMiss, false, true, 1)
+	if got != (Msgs{2, 2}) {
+		t.Fatalf("Charge = %+v", got)
+	}
+	c.Charge(WriteHit, false, false, 0)
+	c.Charge(ReadMiss, true, false, 0) // free, but counted as an op
+	if c.Total() != (Msgs{4, 2}) {
+		t.Fatalf("Total = %+v", c.Total())
+	}
+	if c.ByOp(ReadMiss) != (Msgs{2, 2}) || c.ByOp(WriteHit) != (Msgs{2, 0}) {
+		t.Fatalf("ByOp = %+v / %+v", c.ByOp(ReadMiss), c.ByOp(WriteHit))
+	}
+	if c.Ops(ReadMiss) != 2 || c.Ops(WriteHit) != 1 || c.Ops(WriteBack) != 0 {
+		t.Fatalf("Ops = %d %d %d", c.Ops(ReadMiss), c.Ops(WriteHit), c.Ops(WriteBack))
+	}
+}
+
+func TestCounterAccumulate(t *testing.T) {
+	var c Counter
+	c.Accumulate(WriteBack, Msgs{0, 1})
+	c.Accumulate(WriteBack, Msgs{0, 1})
+	if c.Total() != (Msgs{0, 2}) || c.Ops(WriteBack) != 2 {
+		t.Fatalf("accumulate: %+v %d", c.Total(), c.Ops(WriteBack))
+	}
+}
+
+func TestReduction(t *testing.T) {
+	base := Msgs{2092, 934} // MP3D 4K conventional, Table 2
+	agg := Msgs{784, 936}   // MP3D 4K aggressive
+	got := Reduction(base, agg)
+	// Paper reports 43.1% (the published table rounds to three digits).
+	if math.Abs(got-43.1) > 0.1 {
+		t.Fatalf("Reduction = %.2f; want 43.1", got)
+	}
+	if Reduction(Msgs{}, Msgs{}) != 0 {
+		t.Fatal("empty base should give 0")
+	}
+}
+
+func TestWeightedReductionMatchesPaperExamples(t *testing.T) {
+	// §4.1: "for one megabyte caches and the aggressive protocol the cost
+	// reductions for MP3D and Locus Route are still 38 and 10 percent,
+	// respectively, if the ratio of costs is two to one... With a four to
+	// one ratio these figures decrease to 27 and 6.4 percent."
+	mp3dConv := Msgs{1769, 596}
+	mp3dAgg := Msgs{629, 598}
+	locusConv := Msgs{1268, 470}
+	locusAgg := Msgs{1018, 483}
+
+	if got := WeightedReduction(mp3dConv, mp3dAgg, 2); math.Abs(got-38) > 1 {
+		t.Errorf("MP3D 2:1 = %.1f; want ~38", got)
+	}
+	if got := WeightedReduction(mp3dConv, mp3dAgg, 4); math.Abs(got-27) > 1 {
+		t.Errorf("MP3D 4:1 = %.1f; want ~27", got)
+	}
+	if got := WeightedReduction(locusConv, locusAgg, 2); math.Abs(got-10) > 1 {
+		t.Errorf("Locus 2:1 = %.1f; want ~10", got)
+	}
+	if got := WeightedReduction(locusConv, locusAgg, 4); math.Abs(got-6.4) > 1 {
+		t.Errorf("Locus 4:1 = %.1f; want ~6.4", got)
+	}
+	if WeightedReduction(Msgs{}, Msgs{}, 2) != 0 {
+		t.Error("empty base should give 0")
+	}
+}
+
+func TestPerBytesReductionNearZeroAt256ByteBlocks(t *testing.T) {
+	// §4.1: under the per-16-bytes model "any advantages of the adaptive
+	// protocol are close to zero for 256-byte blocks", with Locus Route
+	// showing a small penalty for the aggressive protocol.
+	locusConv := Msgs{451, 171} // Table 3, 256-byte row
+	locusAgg := Msgs{352, 177}
+	got := PerBytesReduction(locusConv, locusAgg, 256)
+	if got > 2 || got < -2 {
+		t.Fatalf("Locus per-bytes reduction at 256B = %.2f; want near zero", got)
+	}
+	cholConv := Msgs{373, 130}
+	cholAgg := Msgs{142, 132}
+	if got := PerBytesReduction(cholConv, cholAgg, 256); math.Abs(got-8) > 2 {
+		t.Fatalf("Cholesky per-bytes reduction at 256B = %.2f; want ~8", got)
+	}
+	if PerBytesReduction(Msgs{}, Msgs{}, 16) != 0 {
+		t.Error("empty base should give 0")
+	}
+}
+
+// Property: message counts are monotone in DistantCopies and never negative.
+func TestChargeMonotoneProperty(t *testing.T) {
+	f := func(opRaw uint8, homeLocal, dirty bool, dcRaw uint8) bool {
+		op := Op(opRaw % 5)
+		dc := int(dcRaw % 14)
+		m := Charge(op, homeLocal, dirty, dc)
+		if m.Short < 0 || m.Data < 0 {
+			return false
+		}
+		m2 := Charge(op, homeLocal, dirty, dc+1)
+		return m2.Short >= m.Short && m2.Data >= m.Data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: remote operations never cost less than the same local
+// operation.
+func TestRemoteAtLeastLocalProperty(t *testing.T) {
+	f := func(opRaw uint8, dirty bool, dcRaw uint8) bool {
+		op := Op(opRaw % 5)
+		dc := int(dcRaw % 14)
+		local := Charge(op, true, dirty, dc)
+		remote := Charge(op, false, dirty, dc)
+		return remote.Total() >= local.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,672 @@
+// Package directory implements the paper's directory-based protocols on a
+// simulated CC-NUMA multiprocessor (§2.2, §3.3): a collection of nodes,
+// each with a processor, a private 4-way set-associative cache, a memory
+// module, and a memory controller holding the directory entries for the
+// blocks homed at that node.
+//
+// Coherence is write-invalidate with delayed write-back: a modified block
+// is written back when it is replaced or when another processor accesses
+// it. The adaptive variants layer the migratory classification of
+// internal/core on top, switching each block between replicate-on-read-miss
+// and migrate-on-read-miss. Message accounting follows Table 1 exactly
+// (internal/cost), including clean-replacement notifications to the home
+// node.
+package directory
+
+import (
+	"fmt"
+
+	"migratory/internal/cache"
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/trace"
+)
+
+// Cache line permission states. A line's Dirty flag is orthogonal: a
+// PermWrite line is clean until its holder actually writes.
+const (
+	// PermRead lines may be read but not written (the directory knows the
+	// holder as a sharer).
+	PermRead cache.State = iota
+	// PermWrite lines may be read and written without contacting the
+	// directory (the directory knows the holder as the owner). The
+	// conventional protocol grants PermWrite only on writes; the adaptive
+	// protocols also grant it when migrating a block on a read miss.
+	PermWrite
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	// Nodes is the processor/node count. The paper simulates 16.
+	Nodes int
+	// Geometry fixes block and page sizes.
+	Geometry memory.Geometry
+	// CacheBytes is the per-node cache capacity; 0 simulates an infinite
+	// cache (no capacity or conflict misses, as in Table 3).
+	CacheBytes int
+	// Assoc is the cache associativity; 0 defaults to the paper's 4.
+	Assoc int
+	// Policy selects the protocol variant.
+	Policy core.Policy
+	// Placement maps pages to home nodes.
+	Placement placement.Policy
+	// CheckCoherence makes every access verify that the value observed is
+	// the most recently written version of the block. Enabled by tests;
+	// costs one map lookup per access.
+	CheckCoherence bool
+	// FreeDropNotifications treats the clean-replacement notifications to
+	// the home node as free. §3.3 discusses exactly this accounting choice
+	// ("one could argue that the notification message is a cheap,
+	// low-priority maintenance message") and deliberately charges them;
+	// this flag is the ablation.
+	FreeDropNotifications bool
+	// MigratoryOracle, when non-nil, replaces the on-line classifier with
+	// off-line knowledge: read misses to blocks the oracle marks migratory
+	// are issued as read-with-ownership operations (the §5 "load with
+	// intent to modify" of the Berkeley Ownership protocol), charged as
+	// write misses and granting a writable copy; all other blocks
+	// replicate. This is the upper bound an off-line analysis could reach,
+	// against which the on-line protocols are judged. Policy should be
+	// Conventional when an oracle is supplied.
+	MigratoryOracle func(memory.BlockID) bool
+	// DirPointers bounds the number of sharer pointers a directory entry
+	// can store, in the style of limited directories (Dir-i-B; the paper
+	// cites Alewife's LimitLESS as a directory design that does not retain
+	// state for uncached blocks). 0 means full-map (the paper's model).
+	// When the copy set outgrows the pointers, invalidations must be
+	// broadcast: every node except the initiator and home receives an
+	// invalidation and acknowledges it, whether it holds a copy or not.
+	// Migratory detection interacts with this favourably: migrating blocks
+	// never grow their copy sets past one, so overflows become rarer.
+	DirPointers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Assoc == 0 {
+		c.Assoc = 4
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Nodes <= 0 || c.Nodes > memory.MaxNodes {
+		return fmt.Errorf("directory: node count %d out of range [1,%d]", c.Nodes, memory.MaxNodes)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.Placement == nil {
+		return fmt.Errorf("directory: no placement policy")
+	}
+	cc := cache.Config{SizeBytes: c.CacheBytes, BlockSize: c.Geometry.BlockSize(), Assoc: c.Assoc}
+	if err := cc.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// entry is one block's directory entry: the adaptive classifier state plus
+// the copy set and owner tracking of the base protocol.
+type entry struct {
+	cls    core.Classifier
+	copies memory.NodeSet
+	// owner is the node holding a PermWrite line, or memory.NoNode.
+	owner memory.NodeID
+	// dirty mirrors the owner's Dirty flag. In hardware the directory
+	// learns this when it next consults the owner; the simulator keeps it
+	// synchronized eagerly, which is equivalent at every observation point.
+	dirty bool
+	// everMigratory records whether the block was classified migratory at
+	// any point, for classifier-accuracy analysis.
+	everMigratory bool
+	// overflow is set when the copy set outgrew a limited directory's
+	// pointers; invalidations must then be broadcast.
+	overflow bool
+}
+
+// Counters tallies protocol activity beyond raw message counts.
+type Counters struct {
+	Accesses     uint64
+	ReadHits     uint64
+	ReadMisses   uint64
+	WriteHits    uint64 // write hits needing no communication (PermWrite)
+	WriteUpgrade uint64 // write hits on PermRead lines (invalidation requests)
+	WriteMisses  uint64
+
+	Migrations      uint64 // read misses served by migrating the block
+	Replications    uint64 // read misses served by replicating the block
+	Overflows       uint64 // invalidations broadcast due to limited directory pointers
+	Invalidations   uint64 // individual cache copies invalidated remotely
+	WriteBacks      uint64 // dirty replacements
+	CleanDrops      uint64 // clean replacements (notification to home)
+	Classifications uint64 // transitions other->migratory
+	Declassified    uint64 // transitions migratory->other
+}
+
+// OpInfo describes the coherence action taken by the most recent access,
+// for consumers (like the execution-driven timing model of §4.2) that need
+// more than aggregate counts.
+type OpInfo struct {
+	// Hit is true when the access completed in the local cache with no
+	// communication (read hit or write to a PermWrite line).
+	Hit bool
+	// Write is true for write accesses.
+	Write bool
+	// Op classifies the transaction when Hit is false.
+	Op cost.Op
+	// HomeLocal reports whether the initiator is the home node.
+	HomeLocal bool
+	// OwnerConsult reports whether a remote owner had to be consulted
+	// (Table 1's dirty rows).
+	OwnerConsult bool
+	// Distant is ||DistantCopies|| for the transaction.
+	Distant int
+	// Migrated is true when the block was handed over with write
+	// permission on a read miss.
+	Migrated bool
+}
+
+// System is one simulated machine running one protocol over one trace.
+type System struct {
+	cfg     Config
+	caches  []*cache.Cache
+	entries map[memory.BlockID]*entry
+	msgs    cost.Counter
+	n       Counters
+	// versions holds the globally latest write version of each block, for
+	// coherence checking.
+	versions map[memory.BlockID]uint64
+	lastOp   OpInfo
+	// invalHist counts ownership-acquiring operations by how many remote
+	// copies they invalidated (the cache-invalidation-pattern analysis of
+	// Weber & Gupta, the paper's reference [23], which motivates the whole
+	// migratory-detection idea: most invalidating writes hit exactly one
+	// remote copy).
+	invalHist map[int]uint64
+}
+
+// InvalidationHistogram returns, for each invalidation-set size, how many
+// ownership-acquiring operations (write misses and write-hit upgrades)
+// invalidated that many remote copies. Size 0 covers upgrades and write
+// misses that found no other cached copy.
+func (s *System) InvalidationHistogram() map[int]uint64 {
+	out := make(map[int]uint64, len(s.invalHist))
+	for k, v := range s.invalHist {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *System) noteInvalidations(n int) {
+	if s.invalHist == nil {
+		s.invalHist = make(map[int]uint64)
+	}
+	s.invalHist[n]++
+}
+
+// LastOp returns the OpInfo for the most recent Access call.
+func (s *System) LastOp() OpInfo { return s.lastOp }
+
+// New builds a System; the configuration must be valid.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:     cfg,
+		caches:  make([]*cache.Cache, cfg.Nodes),
+		entries: make(map[memory.BlockID]*entry),
+	}
+	for i := range s.caches {
+		s.caches[i] = cache.New(cache.Config{
+			SizeBytes: cfg.CacheBytes,
+			BlockSize: cfg.Geometry.BlockSize(),
+			Assoc:     cfg.Assoc,
+		})
+	}
+	if cfg.CheckCoherence {
+		s.versions = make(map[memory.BlockID]uint64)
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+func (s *System) entryFor(b memory.BlockID) *entry {
+	e, ok := s.entries[b]
+	if !ok {
+		e = &entry{cls: core.NewClassifier(s.cfg.Policy), owner: memory.NoNode}
+		s.entries[b] = e
+	}
+	return e
+}
+
+func (s *System) home(b memory.BlockID) memory.NodeID {
+	return s.cfg.Placement.Home(s.cfg.Geometry.PageOfBlock(b))
+}
+
+// Run feeds every access of the trace through the system.
+func (s *System) Run(accesses []trace.Access) error {
+	for i, a := range accesses {
+		if err := s.Access(a); err != nil {
+			return fmt.Errorf("access %d (%v): %w", i, a, err)
+		}
+	}
+	return nil
+}
+
+// Access applies a single shared-memory reference.
+func (s *System) Access(a trace.Access) error {
+	if int(a.Node) >= s.cfg.Nodes {
+		return fmt.Errorf("directory: node %d out of range (%d nodes)", a.Node, s.cfg.Nodes)
+	}
+	s.n.Accesses++
+	b := s.cfg.Geometry.Block(a.Addr)
+	line := s.caches[a.Node].Lookup(b)
+
+	if a.Kind == trace.Read {
+		if line != nil {
+			s.n.ReadHits++
+			s.lastOp = OpInfo{Hit: true}
+			return s.checkRead(b, line)
+		}
+		s.n.ReadMisses++
+		s.readMiss(a.Node, b)
+		return nil
+	}
+
+	// Write.
+	if line != nil {
+		switch line.State {
+		case PermWrite:
+			// Silent write: the holder already has write permission
+			// (dirty block, or a clean block granted by migration).
+			s.n.WriteHits++
+			s.lastOp = OpInfo{Hit: true, Write: true}
+			s.write(b, line)
+			e := s.entryFor(b)
+			e.dirty = true
+			return nil
+		case PermRead:
+			s.n.WriteUpgrade++
+			s.writeHitUpgrade(a.Node, b, line)
+			return nil
+		default:
+			return fmt.Errorf("directory: line %v in impossible state %d", b, line.State)
+		}
+	}
+	s.n.WriteMisses++
+	s.writeMiss(a.Node, b)
+	return nil
+}
+
+// readMiss services a read miss by node n.
+func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
+	if s.cfg.MigratoryOracle != nil && s.cfg.MigratoryOracle(b) {
+		s.readWithOwnership(n, b)
+		return
+	}
+	e := s.entryFor(b)
+	home := s.home(b)
+	homeLocal := home == n
+	// Table 1's "dirty" rows apply whenever a cache holds the block with
+	// write permission: the owner must be consulted even if it has not yet
+	// modified the block (it may have, silently).
+	ownerHeld := e.owner != memory.NoNode
+	distant := e.copies.Without(n, home).Len()
+
+	wasMigratory := e.cls.Migratory
+	migrate := e.cls.ReadMiss(e.dirty)
+	s.noteReclass(e, wasMigratory)
+
+	s.msgs.Charge(cost.ReadMiss, homeLocal, ownerHeld, distant)
+	s.lastOp = OpInfo{Op: cost.ReadMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant, Migrated: migrate}
+
+	if migrate {
+		s.n.Migrations++
+		// The old copy (if any) is invalidated in the same transaction
+		// that delivers the block; any dirty data is merged into memory on
+		// the way (already charged as the data messages above).
+		if e.owner != memory.NoNode {
+			old := e.owner
+			s.caches[old].Invalidate(b)
+			e.copies = e.copies.Remove(old)
+			s.n.Invalidations++
+		}
+		line := s.insert(n, b, PermWrite)
+		line.Version = s.version(b)
+		e.copies = e.copies.Add(n)
+		e.owner = n
+		e.dirty = false
+		return
+	}
+
+	s.n.Replications++
+	// Replication: a previous owner (dirty or clean-exclusive) is
+	// downgraded to a reader and memory is made current.
+	if e.owner != memory.NoNode {
+		owner := s.caches[e.owner].Peek(b)
+		owner.State = PermRead
+		owner.Dirty = false
+		e.owner = memory.NoNode
+		e.dirty = false
+	}
+	line := s.insert(n, b, PermRead)
+	line.Version = s.version(b)
+	e.copies = e.copies.Add(n)
+	if s.cfg.DirPointers > 0 && e.copies.Len() > s.cfg.DirPointers {
+		e.overflow = true
+	}
+}
+
+// readWithOwnership services a read miss to an oracle-designated migratory
+// block: the block is fetched with exclusive write permission in a single
+// transaction, invalidating every existing copy, and charged as a write
+// miss (the closest Table 1 row for a read-exclusive request).
+func (s *System) readWithOwnership(n memory.NodeID, b memory.BlockID) {
+	e := s.entryFor(b)
+	home := s.home(b)
+	homeLocal := home == n
+	ownerHeld := e.owner != memory.NoNode
+	distant := e.copies.Without(n, home).Len()
+	if e.overflow {
+		distant = s.broadcastDistant(n, home)
+		s.n.Overflows++
+	}
+
+	// Keep the classifier's copy-count bookkeeping coherent even though
+	// its decisions are overridden.
+	e.cls.WriteMiss(n, !e.copies.Empty(), e.dirty)
+
+	s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
+	s.lastOp = OpInfo{Op: cost.WriteMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant, Migrated: true}
+
+	for _, m := range e.copies.Nodes() {
+		s.caches[m].Invalidate(b)
+		s.n.Invalidations++
+	}
+	e.copies = 0
+	e.overflow = false
+	s.n.Migrations++
+	line := s.insert(n, b, PermWrite)
+	line.Version = s.version(b)
+	e.copies = e.copies.Add(n)
+	e.owner = n
+	e.dirty = false
+}
+
+// broadcastDistant returns the DistantCopies cardinality to charge when a
+// limited directory entry has overflowed: every node except the initiator
+// (and the home, whose invalidation is local) must be reached.
+func (s *System) broadcastDistant(n, home memory.NodeID) int {
+	d := s.cfg.Nodes - 1
+	if home != n {
+		d--
+	}
+	return d
+}
+
+// writeMiss services a write miss by node n.
+func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
+	e := s.entryFor(b)
+	home := s.home(b)
+	homeLocal := home == n
+	ownerHeld := e.owner != memory.NoNode
+	distant := e.copies.Without(n, home).Len()
+	if e.overflow {
+		distant = s.broadcastDistant(n, home)
+		s.n.Overflows++
+	}
+	hadCopies := !e.copies.Empty()
+
+	wasMigratory := e.cls.Migratory
+	e.cls.WriteMiss(n, hadCopies, e.dirty)
+	s.noteReclass(e, wasMigratory)
+
+	s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
+	s.lastOp = OpInfo{Write: true, Op: cost.WriteMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant}
+	s.noteInvalidations(e.copies.Len())
+
+	for _, m := range e.copies.Nodes() {
+		s.caches[m].Invalidate(b)
+		s.n.Invalidations++
+	}
+	e.copies = 0
+	e.overflow = false
+	line := s.insert(n, b, PermWrite)
+	s.write(b, line)
+	e.copies = e.copies.Add(n)
+	e.owner = n
+	e.dirty = true
+}
+
+// writeHitUpgrade services a write hit on a PermRead line: an invalidation
+// (ownership) request to the directory.
+func (s *System) writeHitUpgrade(n memory.NodeID, b memory.BlockID, line *cache.Line) {
+	e := s.entryFor(b)
+	home := s.home(b)
+	homeLocal := home == n
+	others := e.copies.Remove(n)
+	distant := others.Without(home).Len()
+	if e.overflow {
+		distant = s.broadcastDistant(n, home)
+		s.n.Overflows++
+	}
+
+	wasMigratory := e.cls.Migratory
+	e.cls.WriteHit(n, !others.Empty())
+	s.noteReclass(e, wasMigratory)
+
+	// The block is clean: PermRead copies are never dirty.
+	s.msgs.Charge(cost.WriteHit, homeLocal, false, distant)
+	s.lastOp = OpInfo{Write: true, Op: cost.WriteHit, HomeLocal: homeLocal, Distant: distant}
+	s.noteInvalidations(others.Len())
+
+	for _, m := range others.Nodes() {
+		s.caches[m].Invalidate(b)
+		s.n.Invalidations++
+	}
+	e.copies = memory.NodeSet(0).Add(n)
+	e.overflow = false
+	line.State = PermWrite
+	s.write(b, line)
+	e.owner = n
+	e.dirty = true
+}
+
+// insert places a block in node n's cache, handling any replacement.
+func (s *System) insert(n memory.NodeID, b memory.BlockID, st cache.State) *cache.Line {
+	line, victim := s.caches[n].Insert(b, st)
+	if victim != nil {
+		s.evict(n, victim)
+	}
+	return line
+}
+
+// evict processes the replacement of a victim line from node n's cache:
+// a write-back for dirty lines, a clean-drop notification otherwise
+// (§3.3 charges both, even the arguably-asynchronous notifications).
+func (s *System) evict(n memory.NodeID, victim *cache.Line) {
+	b := victim.Block
+	e := s.entryFor(b)
+	home := s.home(b)
+	homeLocal := home == n
+
+	if victim.Dirty {
+		s.n.WriteBacks++
+		s.msgs.Charge(cost.WriteBack, homeLocal, true, 0)
+	} else {
+		s.n.CleanDrops++
+		if !s.cfg.FreeDropNotifications {
+			s.msgs.Charge(cost.DropClean, homeLocal, false, 0)
+		}
+	}
+	e.copies = e.copies.Remove(n)
+	if e.owner == n {
+		e.owner = memory.NoNode
+		e.dirty = false
+	}
+	if e.copies.Empty() {
+		e.overflow = false
+		wasMigratory := e.cls.Migratory
+		e.cls.BecameUncached()
+		s.noteReclass(e, wasMigratory)
+	}
+}
+
+func (s *System) noteReclass(e *entry, was bool) {
+	switch {
+	case !was && e.cls.Migratory:
+		s.n.Classifications++
+		e.everMigratory = true
+	case was && !e.cls.Migratory:
+		s.n.Declassified++
+	}
+}
+
+// write records a write to a line, bumping the block's global version when
+// coherence checking is on.
+func (s *System) write(b memory.BlockID, line *cache.Line) {
+	line.Dirty = true
+	if s.versions != nil {
+		s.versions[b]++
+		line.Version = s.versions[b]
+	}
+}
+
+func (s *System) version(b memory.BlockID) uint64 {
+	if s.versions == nil {
+		return 0
+	}
+	return s.versions[b]
+}
+
+func (s *System) checkRead(b memory.BlockID, line *cache.Line) error {
+	if s.versions == nil {
+		return nil
+	}
+	if want := s.versions[b]; line.Version != want {
+		return fmt.Errorf("directory: stale read of block %d: version %d, latest %d", b, line.Version, want)
+	}
+	return nil
+}
+
+// Messages returns the accumulated Table 1 message counts.
+func (s *System) Messages() cost.Msgs { return s.msgs.Total() }
+
+// MessagesByOp returns the accumulated counts for one operation class.
+func (s *System) MessagesByOp(op cost.Op) cost.Msgs { return s.msgs.ByOp(op) }
+
+// Counters returns the protocol activity counters.
+func (s *System) Counters() Counters { return s.n }
+
+// CacheStats aggregates hit/miss/eviction counts over all node caches.
+func (s *System) CacheStats() (hits, misses, evictions uint64) {
+	for _, c := range s.caches {
+		h, m, e := c.Stats()
+		hits += h
+		misses += m
+		evictions += e
+	}
+	return
+}
+
+// MigratoryBlocks returns how many blocks are currently classified
+// migratory.
+func (s *System) MigratoryBlocks() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.cls.Migratory {
+			n++
+		}
+	}
+	return n
+}
+
+// EverMigratory returns the set of blocks that were classified migratory
+// at any point during the run. Note that the aggressive protocol's
+// *initial* classification does not count — only classifications the
+// detection rules produced (or retained through events). Blocks that start
+// migratory and are immediately declassified never appear here.
+func (s *System) EverMigratory() map[memory.BlockID]bool {
+	out := make(map[memory.BlockID]bool)
+	for b, e := range s.entries {
+		// Under an initially-migratory policy, a block that is still
+		// classified at the end survived every declassification test:
+		// count it as detected even though no classification event fired.
+		if e.everMigratory || (s.cfg.Policy.InitialMigratory && e.cls.Migratory) {
+			out[b] = true
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies the structural coherence invariants listed in
+// DESIGN.md §7. Tests call it between accesses; it is O(total cached
+// lines).
+func (s *System) CheckInvariants() error {
+	// Rebuild the ground truth from the caches.
+	type truth struct {
+		copies memory.NodeSet
+		owner  memory.NodeID
+		dirty  bool
+	}
+	actual := make(map[memory.BlockID]*truth)
+	for n, c := range s.caches {
+		for _, b := range c.Blocks() {
+			line := c.Peek(b)
+			tr, ok := actual[b]
+			if !ok {
+				tr = &truth{owner: memory.NoNode}
+				actual[b] = tr
+			}
+			tr.copies = tr.copies.Add(memory.NodeID(n))
+			if line.State == PermWrite {
+				if tr.owner != memory.NoNode {
+					return fmt.Errorf("block %d: two owners (%d and %d)", b, tr.owner, n)
+				}
+				tr.owner = memory.NodeID(n)
+				tr.dirty = line.Dirty
+			} else if line.Dirty {
+				return fmt.Errorf("block %d: dirty PermRead line at node %d", b, n)
+			}
+		}
+	}
+	for b, tr := range actual {
+		e, ok := s.entries[b]
+		if !ok {
+			return fmt.Errorf("block %d cached but has no directory entry", b)
+		}
+		if e.copies != tr.copies {
+			return fmt.Errorf("block %d: directory copies %v != actual %v", b, e.copies, tr.copies)
+		}
+		if e.owner != tr.owner {
+			return fmt.Errorf("block %d: directory owner %d != actual %d", b, e.owner, tr.owner)
+		}
+		if e.dirty != tr.dirty {
+			return fmt.Errorf("block %d: directory dirty %v != actual %v", b, e.dirty, tr.dirty)
+		}
+		if tr.owner != memory.NoNode && tr.copies.Len() != 1 {
+			return fmt.Errorf("block %d: owner %d coexists with copies %v", b, tr.owner, tr.copies)
+		}
+	}
+	for b, e := range s.entries {
+		if _, ok := actual[b]; ok {
+			continue
+		}
+		if !e.copies.Empty() || e.owner != memory.NoNode || e.dirty {
+			return fmt.Errorf("block %d: uncached but directory says copies=%v owner=%d dirty=%v",
+				b, e.copies, e.owner, e.dirty)
+		}
+		if e.cls.Count != core.Uncached {
+			return fmt.Errorf("block %d: uncached but classifier count %v", b, e.cls.Count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package directory
+
+import (
+	"strings"
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/trace"
+)
+
+// TestMessagesByOpBreakdown: the per-operation accounting adds up to the
+// total and attributes costs to the right classes.
+func TestMessagesByOpBreakdown(t *testing.T) {
+	s := newSys(t, core.Conventional)
+	run(t, s, rw(0, 1, 2, 3))
+	var sum cost.Msgs
+	for op := cost.ReadMiss; op <= cost.WriteBack; op++ {
+		sum = sum.Add(s.MessagesByOp(op))
+	}
+	if sum != s.Messages() {
+		t.Fatalf("per-op sum %+v != total %+v", sum, s.Messages())
+	}
+	if s.MessagesByOp(cost.ReadMiss).Data == 0 {
+		t.Fatal("read misses carried no data")
+	}
+	if s.MessagesByOp(cost.WriteHit).Short == 0 {
+		t.Fatal("upgrades sent no shorts")
+	}
+	if s.MessagesByOp(cost.WriteMiss) != (cost.Msgs{}) {
+		t.Fatal("no write misses occurred but messages were charged")
+	}
+}
+
+// TestLastOpReporting: the OpInfo hook reflects each access class.
+func TestLastOpReporting(t *testing.T) {
+	s := newSys(t, core.Basic)
+	steps := []struct {
+		acc  trace.Access
+		want OpInfo
+	}{
+		{trace.Access{Node: 1, Kind: trace.Read, Addr: 0},
+			OpInfo{Op: cost.ReadMiss, HomeLocal: false}},
+		{trace.Access{Node: 1, Kind: trace.Read, Addr: 0},
+			OpInfo{Hit: true}},
+		{trace.Access{Node: 1, Kind: trace.Write, Addr: 0},
+			OpInfo{Write: true, Op: cost.WriteHit, HomeLocal: false}},
+		{trace.Access{Node: 1, Kind: trace.Write, Addr: 0},
+			OpInfo{Hit: true, Write: true}},
+		{trace.Access{Node: 2, Kind: trace.Write, Addr: 0},
+			OpInfo{Write: true, Op: cost.WriteMiss, OwnerConsult: true, Distant: 1}},
+		{trace.Access{Node: 0, Kind: trace.Read, Addr: 0},
+			OpInfo{Op: cost.ReadMiss, HomeLocal: true, OwnerConsult: true, Distant: 1, Migrated: true}},
+	}
+	for i, st := range steps {
+		if err := s.Access(st.acc); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got := s.LastOp(); got != st.want {
+			t.Fatalf("step %d (%v): LastOp = %+v; want %+v", i, st.acc, got, st.want)
+		}
+	}
+}
+
+// TestFreeDropNotifications: the §3.3 accounting ablation removes exactly
+// the clean-drop shorts.
+func TestFreeDropNotifications(t *testing.T) {
+	mk := func(free bool) *System {
+		s, err := New(Config{
+			Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+			Policy: core.Conventional, Placement: placement.NewRoundRobin(4),
+			FreeDropNotifications: free,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	accs := []trace.Access{
+		{Node: 1, Kind: trace.Read, Addr: 0},
+		{Node: 1, Kind: trace.Read, Addr: 16},
+		{Node: 1, Kind: trace.Read, Addr: 32}, // evicts a clean line
+		{Node: 1, Kind: trace.Read, Addr: 48}, // evicts another
+	}
+	charged := mk(false)
+	free := mk(true)
+	run(t, charged, accs)
+	run(t, free, accs)
+	if charged.Counters().CleanDrops != free.Counters().CleanDrops {
+		t.Fatal("drop counts differ")
+	}
+	wantDelta := charged.Counters().CleanDrops
+	delta := charged.Messages().Short - free.Messages().Short
+	if uint64(delta) != wantDelta {
+		t.Fatalf("short delta %d; want %d", delta, wantDelta)
+	}
+	if charged.Messages().Data != free.Messages().Data {
+		t.Fatal("data messages changed")
+	}
+}
+
+// TestExclusiveCleanEvictionNotifies: an unmodified migratory grant evicted
+// from the cache is a clean drop, not a write-back.
+func TestExclusiveCleanEvictionNotifies(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Policy: core.Aggressive, Placement: placement.NewRoundRobin(4),
+		CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, []trace.Access{
+		{Node: 1, Kind: trace.Read, Addr: 0}, // migratory grant, never written
+		{Node: 1, Kind: trace.Read, Addr: 16},
+		{Node: 1, Kind: trace.Read, Addr: 32}, // evicts block 0
+	})
+	c := s.Counters()
+	if c.CleanDrops != 1 || c.WriteBacks != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestHomeDistribution: blocks on different pages route to different homes
+// and local traffic is cheaper.
+func TestHomeDistribution(t *testing.T) {
+	s := newSys(t, core.Conventional)
+	// Page 3 is homed at node 3 under round robin.
+	addr := memory.Addr(3 * 4096)
+	run(t, s, []trace.Access{{Node: 3, Kind: trace.Read, Addr: addr}})
+	if got := s.Messages(); got != (cost.Msgs{}) {
+		t.Fatalf("local-home read miss cost %+v", got)
+	}
+	run(t, s, []trace.Access{{Node: 4, Kind: trace.Read, Addr: addr + 16}})
+	if got := s.Messages(); got != (cost.Msgs{Short: 1, Data: 1}) {
+		t.Fatalf("remote-home read miss cost %+v", got)
+	}
+}
+
+// TestRunReportsAccessIndexOnError: Run wraps errors with the failing
+// position.
+func TestRunReportsAccessIndexOnError(t *testing.T) {
+	s := newSys(t, core.Basic)
+	err := s.Run([]trace.Access{
+		{Node: 1, Kind: trace.Read, Addr: 0},
+		{Node: 99, Kind: trace.Read, Addr: 0},
+	})
+	if err == nil || !strings.Contains(err.Error(), "access 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestCacheStatsAggregation: hits/misses/evictions aggregate across nodes.
+func TestCacheStatsAggregation(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Policy: core.Conventional, Placement: placement.NewRoundRobin(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := []trace.Access{
+		{Node: 0, Kind: trace.Read, Addr: 0},
+		{Node: 0, Kind: trace.Read, Addr: 0},
+		{Node: 1, Kind: trace.Read, Addr: 0},
+		{Node: 0, Kind: trace.Read, Addr: 16},
+		{Node: 0, Kind: trace.Read, Addr: 32}, // eviction at node 0
+	}
+	if err := s.Run(accs); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, evs := s.CacheStats()
+	if hits != 1 || misses != 4 || evs != 1 {
+		t.Fatalf("stats = %d %d %d", hits, misses, evs)
+	}
+}
+
+// TestWriteMissOnUncachedMigratoryGrantsOwnership: the aggressive protocol
+// retains the classification for a write-first block, and the next reader
+// migrates it.
+func TestWriteMissOnUncachedMigratoryGrantsOwnership(t *testing.T) {
+	s := newSys(t, core.Aggressive)
+	run(t, s, []trace.Access{
+		{Node: 1, Kind: trace.Write, Addr: 0}, // write miss to uncached migratory
+		{Node: 2, Kind: trace.Read, Addr: 0},  // should migrate, not replicate
+	})
+	c := s.Counters()
+	if c.Migrations != 1 || c.Replications != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	// Node 2 can now write silently.
+	before := s.Messages()
+	run(t, s, []trace.Access{{Node: 2, Kind: trace.Write, Addr: 0}})
+	if s.Messages() != before {
+		t.Fatal("write after migration was not silent")
+	}
+}
+
+// TestConventionalSilentWriteOnDirtyLine: repeat writes to an owned dirty
+// block stay local under every policy.
+func TestConventionalSilentWriteOnDirtyLine(t *testing.T) {
+	for _, pol := range core.Policies() {
+		s := newSys(t, pol)
+		run(t, s, []trace.Access{{Node: 1, Kind: trace.Write, Addr: 0}})
+		before := s.Messages()
+		for i := 0; i < 5; i++ {
+			run(t, s, []trace.Access{{Node: 1, Kind: trace.Write, Addr: 4}})
+		}
+		if s.Messages() != before {
+			t.Errorf("%s: repeat writes generated traffic", pol.Name)
+		}
+	}
+}
+
+// TestThreeSharersInvalidation: a write hit with several distant sharers
+// charges 2 messages per distant copy.
+func TestThreeSharersInvalidation(t *testing.T) {
+	s := newSys(t, core.Conventional)
+	run(t, s, []trace.Access{
+		{Node: 1, Kind: trace.Read, Addr: 0},
+		{Node: 2, Kind: trace.Read, Addr: 0},
+		{Node: 3, Kind: trace.Read, Addr: 0},
+		{Node: 4, Kind: trace.Read, Addr: 0},
+	})
+	before := s.Messages()
+	run(t, s, []trace.Access{{Node: 1, Kind: trace.Write, Addr: 0}})
+	// Home is node 0 (remote); distant copies {2,3,4}: 2 + 2*3 = 8 shorts.
+	delta := s.Messages().Short - before.Short
+	if delta != 8 {
+		t.Fatalf("upgrade shorts = %d; want 8", delta)
+	}
+	if got := s.Counters().Invalidations - 0; got != 3 {
+		t.Fatalf("invalidations = %d", got)
+	}
+}
+
+// TestMigratoryBlocksGauge counts currently classified blocks.
+func TestMigratoryBlocksGauge(t *testing.T) {
+	s := newSys(t, core.Basic)
+	run(t, s, rw(0, 1, 2))     // classifies block 0
+	run(t, s, rw(16, 1))       // block 1: single node, not classified
+	run(t, s, rw(32, 1, 2, 3)) // classifies block 2
+	if got := s.MigratoryBlocks(); got != 2 {
+		t.Fatalf("MigratoryBlocks = %d", got)
+	}
+}
+
+// TestConfigAccessor returns the configuration.
+func TestConfigAccessor(t *testing.T) {
+	s := newSys(t, core.Basic)
+	if s.Config().Policy.Name != "basic" || s.Config().Nodes != 16 {
+		t.Fatalf("config = %+v", s.Config())
+	}
+}
+
+// TestInvalidationHistogram: the Weber–Gupta analysis counts ownership
+// acquisitions by invalidation-set size.
+func TestInvalidationHistogram(t *testing.T) {
+	s := newSys(t, core.Conventional)
+	run(t, s, []trace.Access{
+		{Node: 1, Kind: trace.Write, Addr: 0}, // write miss, 0 copies
+		{Node: 2, Kind: trace.Read, Addr: 0},
+		{Node: 2, Kind: trace.Write, Addr: 0}, // upgrade invalidating 1
+		{Node: 1, Kind: trace.Read, Addr: 0},
+		{Node: 3, Kind: trace.Read, Addr: 0},
+		{Node: 4, Kind: trace.Read, Addr: 0},
+		{Node: 4, Kind: trace.Write, Addr: 0}, // upgrade invalidating 3
+		{Node: 5, Kind: trace.Write, Addr: 0}, // write miss invalidating 1 (owner)
+	})
+	hist := s.InvalidationHistogram()
+	want := map[int]uint64{0: 1, 1: 2, 3: 1}
+	if len(hist) != len(want) {
+		t.Fatalf("hist = %v; want %v", hist, want)
+	}
+	for k, v := range want {
+		if hist[k] != v {
+			t.Fatalf("hist = %v; want %v", hist, want)
+		}
+	}
+	// The returned map is a copy.
+	hist[99] = 1
+	if _, ok := s.InvalidationHistogram()[99]; ok {
+		t.Fatal("histogram not copied")
+	}
+}
+
+// TestEverMigratory: detection bookkeeping survives declassification and
+// counts still-classified initial blocks for the aggressive policy.
+func TestEverMigratory(t *testing.T) {
+	s := newSys(t, core.Basic)
+	run(t, s, rw(0, 1, 2)) // classifies block 0
+	run(t, s, []trace.Access{{Node: 3, Kind: trace.Read, Addr: 0}, {Node: 4, Kind: trace.Read, Addr: 0}})
+	if s.MigratoryBlocks() != 0 {
+		t.Fatal("setup: block should have declassified")
+	}
+	ever := s.EverMigratory()
+	if !ever[0] || len(ever) != 1 {
+		t.Fatalf("EverMigratory = %v", ever)
+	}
+
+	agg := newSys(t, core.Aggressive)
+	run(t, agg, rw(16, 1)) // initial classification, never evented
+	if ever := agg.EverMigratory(); !ever[1] {
+		t.Fatalf("aggressive EverMigratory = %v", ever)
+	}
+}
+
+// TestStenstromSystemLevel: under eviction pressure the Stenström variant
+// loses classifications that Basic keeps (write misses to retained
+// migratory blocks declassify), so Basic never does worse.
+func TestStenstromSystemLevel(t *testing.T) {
+	mk := func(pol core.Policy) *System {
+		s, err := New(Config{
+			Nodes: 4, Geometry: geom, CacheBytes: 64, Assoc: 4,
+			Policy: pol, Placement: placement.NewRoundRobin(4),
+			CheckCoherence: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Blocks are written first on each visit (write miss after eviction).
+	var accs []trace.Access
+	for round := 0; round < 30; round++ {
+		for n := memory.NodeID(0); n < 4; n++ {
+			for blk := 0; blk < 8; blk++ {
+				accs = append(accs,
+					trace.Access{Node: n, Kind: trace.Write, Addr: memory.Addr(blk * 16)},
+					trace.Access{Node: n, Kind: trace.Read, Addr: memory.Addr(blk * 16)},
+				)
+			}
+		}
+	}
+	basic := mk(core.Basic)
+	sten := mk(core.Stenstrom)
+	run(t, basic, accs)
+	run(t, sten, accs)
+	if basic.Messages().Total() > sten.Messages().Total() {
+		t.Fatalf("basic (%d) worse than stenstrom (%d)",
+			basic.Messages().Total(), sten.Messages().Total())
+	}
+}

@@ -1,0 +1,177 @@
+package directory
+
+import (
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/trace"
+)
+
+func newLimitedSys(t *testing.T, pol core.Policy, pointers int) *System {
+	t.Helper()
+	s, err := New(Config{
+		Nodes:          16,
+		Geometry:       geom,
+		Policy:         pol,
+		Placement:      placement.NewRoundRobin(16),
+		CheckCoherence: true,
+		DirPointers:    pointers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// reads returns read accesses to addr by the given nodes.
+func reads(addr memory.Addr, nodes ...memory.NodeID) []trace.Access {
+	var out []trace.Access
+	for _, n := range nodes {
+		out = append(out, trace.Access{Node: n, Kind: trace.Read, Addr: addr})
+	}
+	return out
+}
+
+// TestLimitedDirectoryOverflowBroadcast: once the copy set outgrows the
+// pointers, the next invalidation is charged as a broadcast to every node.
+func TestLimitedDirectoryOverflowBroadcast(t *testing.T) {
+	s := newLimitedSys(t, core.Conventional, 2)
+	// Three sharers: one more than the pointers.
+	run(t, s, reads(0, 1, 2, 3))
+	before := s.Messages()
+	run(t, s, []trace.Access{{Node: 1, Kind: trace.Write, Addr: 0}})
+	// Broadcast: home 0 is remote to node 1, so DistantCopies is charged
+	// as 14 (everyone but initiator and home): 2 + 2*14 = 30 shorts.
+	delta := s.Messages().Short - before.Short
+	if delta != 30 {
+		t.Fatalf("overflow upgrade shorts = %d; want 30", delta)
+	}
+	c := s.Counters()
+	if c.Overflows != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+	// Only the actual copies were invalidated.
+	if c.Invalidations != 2 {
+		t.Fatalf("invalidations = %d; want 2", c.Invalidations)
+	}
+}
+
+// TestLimitedDirectoryWithinPointersIsExact: below the pointer limit the
+// accounting matches the full-map directory.
+func TestLimitedDirectoryWithinPointersIsExact(t *testing.T) {
+	limited := newLimitedSys(t, core.Conventional, 4)
+	full := newSys(t, core.Conventional)
+	accs := append(reads(0, 1, 2, 3), trace.Access{Node: 1, Kind: trace.Write, Addr: 0})
+	run(t, limited, accs)
+	run(t, full, accs)
+	if limited.Messages() != full.Messages() {
+		t.Fatalf("limited %+v != full %+v", limited.Messages(), full.Messages())
+	}
+	if limited.Counters().Overflows != 0 {
+		t.Fatal("overflow below the pointer limit")
+	}
+}
+
+// TestOverflowClearsAfterInvalidation: once the block is exclusively held
+// again the directory is exact.
+func TestOverflowClearsAfterInvalidation(t *testing.T) {
+	s := newLimitedSys(t, core.Conventional, 2)
+	run(t, s, reads(0, 1, 2, 3))
+	run(t, s, []trace.Access{{Node: 1, Kind: trace.Write, Addr: 0}}) // broadcast, then exact
+	// A second upgrade cycle with only two sharers stays exact.
+	run(t, s, reads(0, 2))
+	before := s.Messages()
+	run(t, s, []trace.Access{{Node: 2, Kind: trace.Write, Addr: 0}})
+	delta := s.Messages().Short - before.Short
+	// Sharers {1,2}, initiator 2, home 0: DistantCopies = {1}: 2+2*1 = 4.
+	if delta != 4 {
+		t.Fatalf("post-overflow upgrade shorts = %d; want 4", delta)
+	}
+	if got := s.Counters().Overflows; got != 1 {
+		t.Fatalf("overflows = %d; want 1", got)
+	}
+}
+
+// TestOverflowClearsWhenUncached: evicting every copy resets the entry.
+func TestOverflowClearsWhenUncached(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Policy: core.Conventional, Placement: placement.NewRoundRobin(4),
+		CheckCoherence: true, DirPointers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, reads(0, 1, 2)) // overflow at 2 copies with 1 pointer
+	// Evict both copies.
+	run(t, s, reads(16, 1, 2))
+	run(t, s, reads(32, 1, 2))
+	run(t, s, reads(48, 1, 2))
+	// Reload with one reader and write: exact accounting again.
+	run(t, s, reads(0, 1))
+	before := s.Messages()
+	run(t, s, []trace.Access{{Node: 1, Kind: trace.Write, Addr: 0}})
+	delta := s.Messages().Short - before.Short
+	if delta != 2 { // remote home upgrade, no distant copies
+		t.Fatalf("upgrade shorts = %d; want 2", delta)
+	}
+}
+
+// TestMigratoryDetectionReducesOverflows: the headline interaction — the
+// adaptive protocol keeps migratory blocks at one copy, so a limited
+// directory overflows less and broadcasts less.
+func TestMigratoryDetectionReducesOverflows(t *testing.T) {
+	mkTrace := func() []trace.Access {
+		var accs []trace.Access
+		// Migratory turns with an occasional extra reader: under the
+		// conventional protocol stale copies accumulate past the pointer
+		// limit; under the adaptive protocol migration keeps the set at 1.
+		for round := 0; round < 40; round++ {
+			for n := memory.NodeID(1); n <= 4; n++ {
+				accs = append(accs,
+					trace.Access{Node: n, Kind: trace.Read, Addr: 0},
+					trace.Access{Node: n, Kind: trace.Write, Addr: 0},
+				)
+			}
+		}
+		return accs
+	}
+	conv := newLimitedSys(t, core.Conventional, 1)
+	adp := newLimitedSys(t, core.Aggressive, 1)
+	run(t, conv, mkTrace())
+	run(t, adp, mkTrace())
+	cc, ca := conv.Counters(), adp.Counters()
+	if ca.Overflows >= cc.Overflows {
+		t.Fatalf("adaptive overflows %d not below conventional %d", ca.Overflows, cc.Overflows)
+	}
+	if ca.Overflows != 0 {
+		t.Fatalf("steady migratory under adaptive still overflowed %d times", ca.Overflows)
+	}
+	if adp.Messages().Total() >= conv.Messages().Total() {
+		t.Fatal("adaptive not cheaper under a limited directory")
+	}
+}
+
+// TestLimitedDirectoryReadSharedCost: heavily read-shared blocks pay the
+// broadcast penalty under both protocols equally.
+func TestLimitedDirectoryReadSharedCost(t *testing.T) {
+	var accs []trace.Access
+	accs = append(accs, trace.Access{Node: 1, Kind: trace.Write, Addr: 0})
+	for n := memory.NodeID(2); n < 10; n++ {
+		accs = append(accs, trace.Access{Node: n, Kind: trace.Read, Addr: 0})
+	}
+	accs = append(accs, trace.Access{Node: 1, Kind: trace.Write, Addr: 0})
+
+	limited := newLimitedSys(t, core.Basic, 2)
+	full := newSys(t, core.Basic)
+	run(t, limited, accs)
+	run(t, full, accs)
+	if limited.Messages().Short <= full.Messages().Short {
+		t.Fatal("broadcast penalty missing")
+	}
+	if limited.Counters().Overflows != 1 {
+		t.Fatalf("overflows = %d", limited.Counters().Overflows)
+	}
+}

@@ -1,0 +1,153 @@
+package directory
+
+import (
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/trace"
+)
+
+func newOracleSys(t *testing.T, oracle func(memory.BlockID) bool) *System {
+	t.Helper()
+	s, err := New(Config{
+		Nodes:           16,
+		Geometry:        geom,
+		Policy:          core.Conventional,
+		Placement:       placement.NewRoundRobin(16),
+		CheckCoherence:  true,
+		MigratoryOracle: oracle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestOracleMatchesAggressiveSteadyState: with perfect foreknowledge the
+// oracle reaches the migratory steady state immediately, like aggressive,
+// with no detection transient at all.
+func TestOracleMatchesAggressiveSteadyState(t *testing.T) {
+	oracle := newOracleSys(t, func(memory.BlockID) bool { return true })
+	run(t, oracle, rw(0, 1))
+	// First read is a read-with-ownership: remote uncached clean write-miss
+	// charge (1,1); the write is silent.
+	if got := oracle.Messages(); got != (cost.Msgs{Short: 1, Data: 1}) {
+		t.Fatalf("first turn: %+v", got)
+	}
+	for _, n := range []memory.NodeID{2, 3, 1, 2} {
+		before := oracle.Messages()
+		run(t, oracle, rw(0, n))
+		delta := cost.Msgs{Short: oracle.Messages().Short - before.Short, Data: oracle.Messages().Data - before.Data}
+		if delta != (cost.Msgs{Short: 2, Data: 2}) {
+			t.Fatalf("steady turn cost %+v; want {2 2}", delta)
+		}
+	}
+	if oracle.Counters().WriteUpgrade != 0 {
+		t.Fatalf("oracle paid upgrades: %+v", oracle.Counters())
+	}
+}
+
+// TestOracleReplicatesNonMigratory: blocks the oracle marks non-migratory
+// behave exactly conventionally.
+func TestOracleReplicatesNonMigratory(t *testing.T) {
+	oracle := newOracleSys(t, func(memory.BlockID) bool { return false })
+	conv := newSys(t, core.Conventional)
+	accs := rw(0, 1, 2, 3, 1, 2)
+	run(t, oracle, accs)
+	run(t, conv, accs)
+	if oracle.Messages() != conv.Messages() {
+		t.Fatalf("oracle %+v != conventional %+v", oracle.Messages(), conv.Messages())
+	}
+}
+
+// TestOracleInvalidatesAllCopiesOnRWO: a read-with-ownership to a block
+// with several shared copies removes them all in one transaction.
+func TestOracleInvalidatesAllCopiesOnRWO(t *testing.T) {
+	calls := 0
+	s := newOracleSys(t, func(b memory.BlockID) bool {
+		calls++
+		return b == 0
+	})
+	// Three readers replicate block 1 (non-migratory)...
+	accs := []trace.Access{
+		{Node: 1, Kind: trace.Read, Addr: 16},
+		{Node: 2, Kind: trace.Read, Addr: 16},
+		// ...and block 0 accumulates copies via writes/reads.
+		{Node: 1, Kind: trace.Write, Addr: 0},
+		{Node: 2, Kind: trace.Read, Addr: 0},
+	}
+	run(t, s, accs)
+	// Wait: node 2's read of block 0 was itself an RWO, invalidating node
+	// 1's copy. Verify only node 2 holds it.
+	if s.caches[1].Peek(0) != nil || s.caches[2].Peek(0) == nil {
+		t.Fatal("RWO did not transfer exclusively")
+	}
+	if calls == 0 {
+		t.Fatal("oracle never consulted")
+	}
+	c := s.Counters()
+	if c.Migrations == 0 || c.Invalidations == 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestOracleBeatsOnlineProtocolsOnPureMigratory: the off-line bound is at
+// least as good as every on-line protocol for migratory data.
+func TestOracleBeatsOnlineProtocolsOnPureMigratory(t *testing.T) {
+	accs := rw(0, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4)
+	oracle := newOracleSys(t, func(memory.BlockID) bool { return true })
+	run(t, oracle, accs)
+	best := oracle.Messages().Total()
+	for _, pol := range core.Policies() {
+		s := newSys(t, pol)
+		run(t, s, accs)
+		if got := s.Messages().Total(); got < best {
+			t.Errorf("%s (%d msgs) beat the oracle (%d)", pol.Name, got, best)
+		}
+	}
+}
+
+// TestStenstromDeclassifiesOnWriteMiss: the §5 related-work variant drops
+// the classification on any write miss to a migratory block, where Basic
+// keeps it for dirty blocks.
+func TestStenstromDeclassifiesOnWriteMiss(t *testing.T) {
+	classifyThenWriteMiss := func(pol core.Policy) *System {
+		s := newSys(t, pol)
+		run(t, s, rw(0, 1, 2)) // classify (basic rule)
+		// Node 3 write-misses the dirty migratory block.
+		run(t, s, []trace.Access{{Node: 3, Kind: trace.Write, Addr: 0}})
+		return s
+	}
+	basic := classifyThenWriteMiss(core.Basic)
+	sten := classifyThenWriteMiss(core.Stenstrom)
+	if basic.MigratoryBlocks() != 1 {
+		t.Fatalf("basic lost classification: %+v", basic.Counters())
+	}
+	if sten.MigratoryBlocks() != 0 {
+		t.Fatalf("stenstrom kept classification: %+v", sten.Counters())
+	}
+	// The paper: "Since there is very little dynamic reclassification in
+	// the SPLASH programs, our dixie simulations are consistent with their
+	// results" — on a read-then-write migratory pattern the two protocols
+	// coincide exactly.
+	mk := func(pol core.Policy) cost.Msgs {
+		s := newSys(t, pol)
+		run(t, s, rw(16, 1, 2, 3, 4, 1, 2, 3, 4))
+		return s.Messages()
+	}
+	if mk(core.Basic) != mk(core.Stenstrom) {
+		t.Fatal("basic and stenstrom diverge on a pure read/write migratory pattern")
+	}
+}
+
+func TestStenstromPolicyValidates(t *testing.T) {
+	if err := core.Stenstrom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.Stenstrom.DeclassifyOnWriteMiss || core.Stenstrom.InitialMigratory {
+		t.Fatalf("stenstrom = %+v", core.Stenstrom)
+	}
+}

@@ -1,0 +1,191 @@
+// Package memory provides the elementary address arithmetic shared by every
+// simulator in this repository: byte addresses, cache-block and page
+// identifiers, node identifiers, and dense node sets.
+//
+// Block and page sizes are parameters of an experiment (the paper varies the
+// block size from 16 to 256 bytes with a fixed 4 KB page), so all address
+// arithmetic is funneled through a Geometry value rather than package-level
+// constants.
+package memory
+
+import "fmt"
+
+// Addr is a byte address in the simulated shared address space.
+type Addr uint64
+
+// BlockID identifies a cache block: the address shifted right by the block
+// bits of the governing Geometry. BlockIDs from different geometries must
+// not be mixed.
+type BlockID uint64
+
+// PageID identifies a virtual page (addr >> page bits).
+type PageID uint64
+
+// NodeID identifies a processing node (processor + cache + memory module).
+// The paper simulates sixteen nodes; we support up to 64 so that copy sets
+// fit in a single machine word.
+type NodeID uint8
+
+// MaxNodes is the largest node count supported by NodeSet.
+const MaxNodes = 64
+
+// NoNode is a sentinel "no such node" value, used for fields like a
+// directory entry's owner or last invalidator before any node has touched
+// the block.
+const NoNode NodeID = 0xFF
+
+// Geometry captures the block and page sizes of a simulated machine and
+// pre-computes the shift amounts used for address arithmetic. Both sizes
+// must be powers of two, and the page size must be a multiple of the block
+// size.
+type Geometry struct {
+	blockSize int
+	pageSize  int
+	blockBits uint
+	pageBits  uint
+}
+
+// NewGeometry returns a Geometry for the given block and page sizes.
+func NewGeometry(blockSize, pageSize int) (Geometry, error) {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("memory: block size %d is not a positive power of two", blockSize)
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return Geometry{}, fmt.Errorf("memory: page size %d is not a positive power of two", pageSize)
+	}
+	if pageSize < blockSize {
+		return Geometry{}, fmt.Errorf("memory: page size %d smaller than block size %d", pageSize, blockSize)
+	}
+	return Geometry{
+		blockSize: blockSize,
+		pageSize:  pageSize,
+		blockBits: log2(blockSize),
+		pageBits:  log2(pageSize),
+	}, nil
+}
+
+// MustGeometry is like NewGeometry but panics on error. It is intended for
+// tests and for literal configurations known to be valid.
+func MustGeometry(blockSize, pageSize int) Geometry {
+	g, err := NewGeometry(blockSize, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// BlockSize returns the block size in bytes.
+func (g Geometry) BlockSize() int { return g.blockSize }
+
+// PageSize returns the page size in bytes.
+func (g Geometry) PageSize() int { return g.pageSize }
+
+// Block maps an address to its block identifier.
+func (g Geometry) Block(a Addr) BlockID { return BlockID(a >> g.blockBits) }
+
+// Page maps an address to its page identifier.
+func (g Geometry) Page(a Addr) PageID { return PageID(a >> g.pageBits) }
+
+// PageOfBlock maps a block identifier to the page containing it.
+func (g Geometry) PageOfBlock(b BlockID) PageID {
+	return PageID(b >> (g.pageBits - g.blockBits))
+}
+
+// BlockAddr returns the first byte address of a block.
+func (g Geometry) BlockAddr(b BlockID) Addr { return Addr(b) << g.blockBits }
+
+// PageAddr returns the first byte address of a page.
+func (g Geometry) PageAddr(p PageID) Addr { return Addr(p) << g.pageBits }
+
+// BlocksPerPage returns the number of cache blocks in one page.
+func (g Geometry) BlocksPerPage() int { return g.pageSize / g.blockSize }
+
+// NodeSet is a dense set of NodeIDs in [0, MaxNodes), represented as a
+// bitmask. The zero value is the empty set. NodeSet is a value type; all
+// mutating operations return the new set.
+type NodeSet uint64
+
+// Add returns s with node n added.
+func (s NodeSet) Add(n NodeID) NodeSet { return s | 1<<n }
+
+// Remove returns s with node n removed.
+func (s NodeSet) Remove(n NodeID) NodeSet { return s &^ (1 << n) }
+
+// Contains reports whether n is in the set.
+func (s NodeSet) Contains(n NodeID) bool { return s&(1<<n) != 0 }
+
+// Len returns the number of nodes in the set.
+func (s NodeSet) Len() int {
+	// Kernighan popcount; sets are tiny (<=64 bits) and this avoids a
+	// math/bits import in a package meant to stay dependency-free.
+	n := 0
+	for v := uint64(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// Sole returns the single member of a one-element set. It panics if the set
+// does not have exactly one member; callers use it only after checking Len.
+func (s NodeSet) Sole() NodeID {
+	if s.Len() != 1 {
+		panic(fmt.Sprintf("memory: Sole called on set of size %d", s.Len()))
+	}
+	var n NodeID
+	for v := uint64(s); v&1 == 0; v >>= 1 {
+		n++
+	}
+	return n
+}
+
+// Nodes returns the members of the set in ascending order.
+func (s NodeSet) Nodes() []NodeID {
+	if s == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, s.Len())
+	for n := NodeID(0); n < MaxNodes; n++ {
+		if s.Contains(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Without returns the set with the given nodes removed. It implements the
+// paper's DistantCopies construction: the copies cached at neither the
+// initiator nor the home node.
+func (s NodeSet) Without(nodes ...NodeID) NodeSet {
+	for _, n := range nodes {
+		if n != NoNode {
+			s = s.Remove(n)
+		}
+	}
+	return s
+}
+
+// String renders the set as {0,3,7} for diagnostics.
+func (s NodeSet) String() string {
+	out := "{"
+	first := true
+	for _, n := range s.Nodes() {
+		if !first {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", n)
+		first = false
+	}
+	return out + "}"
+}

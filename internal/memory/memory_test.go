@@ -1,0 +1,223 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		block, pg  int
+		wantErr    bool
+		blockBits  uint
+		pageBits   uint
+		perPage    int
+		skipChecks bool
+	}{
+		{name: "paper default", block: 16, pg: 4096, blockBits: 4, pageBits: 12, perPage: 256},
+		{name: "large block", block: 256, pg: 4096, blockBits: 8, pageBits: 12, perPage: 16},
+		{name: "block equals page", block: 4096, pg: 4096, blockBits: 12, pageBits: 12, perPage: 1},
+		{name: "non power of two block", block: 24, pg: 4096, wantErr: true, skipChecks: true},
+		{name: "non power of two page", block: 16, pg: 3000, wantErr: true, skipChecks: true},
+		{name: "zero block", block: 0, pg: 4096, wantErr: true, skipChecks: true},
+		{name: "negative block", block: -16, pg: 4096, wantErr: true, skipChecks: true},
+		{name: "page smaller than block", block: 128, pg: 64, wantErr: true, skipChecks: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := NewGeometry(c.block, c.pg)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("NewGeometry(%d,%d): want error, got %+v", c.block, c.pg, g)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewGeometry(%d,%d): %v", c.block, c.pg, err)
+			}
+			if g.BlockSize() != c.block || g.PageSize() != c.pg {
+				t.Errorf("sizes = %d,%d; want %d,%d", g.BlockSize(), g.PageSize(), c.block, c.pg)
+			}
+			if g.blockBits != c.blockBits || g.pageBits != c.pageBits {
+				t.Errorf("bits = %d,%d; want %d,%d", g.blockBits, g.pageBits, c.blockBits, c.pageBits)
+			}
+			if got := g.BlocksPerPage(); got != c.perPage {
+				t.Errorf("BlocksPerPage = %d; want %d", got, c.perPage)
+			}
+		})
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(3, 4096) did not panic")
+		}
+	}()
+	MustGeometry(3, 4096)
+}
+
+func TestAddressMapping(t *testing.T) {
+	g := MustGeometry(16, 4096)
+	cases := []struct {
+		addr  Addr
+		block BlockID
+		page  PageID
+	}{
+		{0, 0, 0},
+		{15, 0, 0},
+		{16, 1, 0},
+		{4095, 255, 0},
+		{4096, 256, 1},
+		{0x12345, 0x1234, 0x12},
+	}
+	for _, c := range cases {
+		if got := g.Block(c.addr); got != c.block {
+			t.Errorf("Block(%#x) = %d; want %d", c.addr, got, c.block)
+		}
+		if got := g.Page(c.addr); got != c.page {
+			t.Errorf("Page(%#x) = %d; want %d", c.addr, got, c.page)
+		}
+		if got := g.PageOfBlock(c.block); got != c.page {
+			t.Errorf("PageOfBlock(%d) = %d; want %d", c.block, got, c.page)
+		}
+	}
+}
+
+func TestBlockAndPageAddrRoundTrip(t *testing.T) {
+	g := MustGeometry(64, 4096)
+	for b := BlockID(0); b < 1000; b += 7 {
+		if got := g.Block(g.BlockAddr(b)); got != b {
+			t.Fatalf("Block(BlockAddr(%d)) = %d", b, got)
+		}
+	}
+	for p := PageID(0); p < 100; p += 3 {
+		if got := g.Page(g.PageAddr(p)); got != p {
+			t.Fatalf("Page(PageAddr(%d)) = %d", p, got)
+		}
+	}
+}
+
+func TestPageBlockConsistencyProperty(t *testing.T) {
+	g := MustGeometry(32, 4096)
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return g.PageOfBlock(g.Block(addr)) == g.Page(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSetBasics(t *testing.T) {
+	var s NodeSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("zero NodeSet not empty: %v", s)
+	}
+	s = s.Add(3).Add(7).Add(3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", s.Len())
+	}
+	if !s.Contains(3) || !s.Contains(7) || s.Contains(4) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s = s.Remove(3)
+	if s.Len() != 1 || s.Contains(3) {
+		t.Fatalf("after Remove(3): %v", s)
+	}
+	if got := s.Sole(); got != 7 {
+		t.Fatalf("Sole = %d; want 7", got)
+	}
+	s = s.Remove(7)
+	if !s.Empty() {
+		t.Fatalf("after removing all: %v", s)
+	}
+	// Removing an absent node is a no-op.
+	if got := s.Remove(42); got != s {
+		t.Fatalf("Remove on empty changed the set: %v", got)
+	}
+}
+
+func TestNodeSetSolePanicsOnWrongSize(t *testing.T) {
+	for _, s := range []NodeSet{0, NodeSet(0).Add(1).Add(2)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sole on %v did not panic", s)
+				}
+			}()
+			s.Sole()
+		}()
+	}
+}
+
+func TestNodeSetNodesOrderedAndComplete(t *testing.T) {
+	s := NodeSet(0).Add(63).Add(0).Add(17)
+	got := s.Nodes()
+	want := []NodeID{0, 17, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v; want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v; want %v", got, want)
+		}
+	}
+	if NodeSet(0).Nodes() != nil {
+		t.Fatal("empty set Nodes() should be nil")
+	}
+}
+
+func TestNodeSetWithout(t *testing.T) {
+	s := NodeSet(0).Add(1).Add(2).Add(3)
+	got := s.Without(2, NoNode, 9)
+	if got.Len() != 2 || got.Contains(2) || !got.Contains(1) || !got.Contains(3) {
+		t.Fatalf("Without = %v", got)
+	}
+	// DistantCopies-style use: remove initiator and home.
+	copies := NodeSet(0).Add(4).Add(5).Add(6)
+	if dc := copies.Without(4, 6); dc.Len() != 1 || !dc.Contains(5) {
+		t.Fatalf("DistantCopies = %v; want {5}", dc)
+	}
+}
+
+func TestNodeSetString(t *testing.T) {
+	s := NodeSet(0).Add(2).Add(5)
+	if got := s.String(); got != "{2,5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NodeSet(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestNodeSetLenMatchesNodesProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		s := NodeSet(v)
+		return s.Len() == len(s.Nodes())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSetAddRemoveProperty(t *testing.T) {
+	f := func(v uint64, n uint8) bool {
+		node := NodeID(n % MaxNodes)
+		s := NodeSet(v)
+		added := s.Add(node)
+		if !added.Contains(node) {
+			return false
+		}
+		removed := added.Remove(node)
+		if removed.Contains(node) {
+			return false
+		}
+		// Adding then removing yields the original set without the node.
+		return removed == s.Remove(node)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

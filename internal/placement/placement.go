@@ -1,0 +1,127 @@
+// Package placement assigns virtual pages of the shared address space to
+// home nodes. The home node of a page holds the memory and the directory
+// entries for every block in the page, so placement determines how many
+// coherence operations cross node boundaries.
+//
+// The paper's trace-driven simulator "uses a simple dynamic technique for
+// finding a good static placement" (§3.3, after Bolosky et al. and
+// Stenström et al.), while the execution-driven simulations use "the
+// standard round-robin memory allocation" (§4.2 attributes most of the gap
+// between the two sets of results to exactly this difference). Both are
+// provided here, plus first-touch as a common point of comparison.
+package placement
+
+import (
+	"fmt"
+
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+// Policy maps pages to home nodes. Implementations are immutable once
+// built; Home must be deterministic.
+type Policy interface {
+	// Home returns the home node of a page.
+	Home(p memory.PageID) memory.NodeID
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RoundRobin assigns page p to node p mod n.
+type RoundRobin struct {
+	n int
+}
+
+// NewRoundRobin returns a round-robin policy over n nodes.
+func NewRoundRobin(n int) RoundRobin {
+	if n <= 0 {
+		panic(fmt.Sprintf("placement: node count %d", n))
+	}
+	return RoundRobin{n: n}
+}
+
+// Home implements Policy.
+func (r RoundRobin) Home(p memory.PageID) memory.NodeID {
+	return memory.NodeID(uint64(p) % uint64(r.n))
+}
+
+// Name implements Policy.
+func (r RoundRobin) Name() string { return "round-robin" }
+
+// Static is a fixed page->node table with a fallback for unmapped pages.
+type Static struct {
+	name     string
+	table    map[memory.PageID]memory.NodeID
+	fallback RoundRobin
+}
+
+// Home implements Policy.
+func (s *Static) Home(p memory.PageID) memory.NodeID {
+	if n, ok := s.table[p]; ok {
+		return n
+	}
+	return s.fallback.Home(p)
+}
+
+// Name implements Policy.
+func (s *Static) Name() string { return s.name }
+
+// Pages returns the number of explicitly mapped pages.
+func (s *Static) Pages() int { return len(s.table) }
+
+// FirstTouch builds a static placement that assigns each page to the first
+// node that references it in the trace.
+func FirstTouch(accesses []trace.Access, geom memory.Geometry, nodes int) *Static {
+	table := make(map[memory.PageID]memory.NodeID)
+	for _, a := range accesses {
+		p := geom.Page(a.Addr)
+		if _, ok := table[p]; !ok {
+			table[p] = a.Node
+		}
+	}
+	return &Static{name: "first-touch", table: table, fallback: NewRoundRobin(nodes)}
+}
+
+// UsageBased builds the paper's "good static placement": each page is
+// assigned to the node that references it most over the whole trace, with
+// ties broken toward the lower node ID. This is the profile-then-place
+// technique of Bolosky et al. and Stenström et al. cited in §3.3.
+func UsageBased(accesses []trace.Access, geom memory.Geometry, nodes int) *Static {
+	counts := make(map[memory.PageID]*[memory.MaxNodes]uint32)
+	for _, a := range accesses {
+		p := geom.Page(a.Addr)
+		c, ok := counts[p]
+		if !ok {
+			c = new([memory.MaxNodes]uint32)
+			counts[p] = c
+		}
+		c[a.Node]++
+	}
+	table := make(map[memory.PageID]memory.NodeID, len(counts))
+	for p, c := range counts {
+		best := memory.NodeID(0)
+		for n := 1; n < nodes; n++ {
+			if c[n] > c[best] {
+				best = memory.NodeID(n)
+			}
+		}
+		table[p] = best
+	}
+	return &Static{name: "usage-based", table: table, fallback: NewRoundRobin(nodes)}
+}
+
+// LocalFraction reports the fraction of accesses in the trace whose page is
+// homed at the accessing node under the given policy. It is a direct
+// measure of placement quality.
+func LocalFraction(accesses []trace.Access, geom memory.Geometry, p Policy) float64 {
+	if len(accesses) == 0 {
+		return 0
+	}
+	local := 0
+	for _, a := range accesses {
+		if p.Home(geom.Page(a.Addr)) == a.Node {
+			local++
+		}
+	}
+	return float64(local) / float64(len(accesses))
+}

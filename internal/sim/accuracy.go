@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"migratory/internal/core"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/stats"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+// Accuracy reports how well a protocol's on-line migratory detection
+// matches the off-line ground truth of trace.ClassifyBlocks. "Positive"
+// means the block behaves migratory over the whole trace.
+type Accuracy struct {
+	App    string
+	Policy core.Policy
+
+	TruePositive  int // detected, and truly migratory
+	FalsePositive int // detected, but not migratory over the whole trace
+	FalseNegative int // truly migratory, never detected
+	TrueNegative  int // correctly left alone
+
+	MigratoryBlocks int // ground-truth positives
+	TotalBlocks     int
+}
+
+// Precision is TP / (TP + FP); 0 when nothing was detected.
+func (a Accuracy) Precision() float64 {
+	d := a.TruePositive + a.FalsePositive
+	if d == 0 {
+		return 0
+	}
+	return float64(a.TruePositive) / float64(d)
+}
+
+// Recall is TP / (TP + FN); 0 when there were no positives.
+func (a Accuracy) Recall() float64 {
+	d := a.TruePositive + a.FalseNegative
+	if d == 0 {
+		return 0
+	}
+	return float64(a.TruePositive) / float64(d)
+}
+
+// ClassifierAccuracy runs one application under each policy and scores the
+// detection against the off-line ground truth. Only blocks that are shared
+// at all (touched by more than one node) enter the scoring: the detection
+// rules never see single-node blocks do anything detectable, and the paper
+// excludes private data from its traces anyway. cacheBytes 0 = infinite
+// (the cleanest setting for judging the rules themselves).
+func ClassifierAccuracy(app string, opts Options, cacheBytes int) ([]Accuracy, error) {
+	opts = opts.withDefaults()
+	prof, err := workload.ProfileByName(app)
+	if err != nil {
+		return nil, err
+	}
+	accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
+	if err != nil {
+		return nil, err
+	}
+	geom := memory.MustGeometry(16, PageSize)
+	truth := trace.ClassifyBlocks(accs, geom)
+	pl := placement.UsageBased(accs, geom, opts.Nodes)
+
+	var out []Accuracy
+	for _, pol := range opts.Policies {
+		if !pol.Adaptive {
+			continue // nothing to score
+		}
+		sys, err := directory.New(directory.Config{
+			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
+			Policy: pol, Placement: pl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(accs); err != nil {
+			return nil, err
+		}
+		detected := sys.EverMigratory()
+		acc := Accuracy{App: app, Policy: pol}
+		for b, pattern := range truth {
+			if pattern == trace.PatternPrivate {
+				continue
+			}
+			acc.TotalBlocks++
+			positive := pattern == trace.PatternMigratory
+			if positive {
+				acc.MigratoryBlocks++
+			}
+			switch {
+			case positive && detected[b]:
+				acc.TruePositive++
+			case positive && !detected[b]:
+				acc.FalseNegative++
+			case !positive && detected[b]:
+				acc.FalsePositive++
+			default:
+				acc.TrueNegative++
+			}
+		}
+		out = append(out, acc)
+	}
+	return out, nil
+}
+
+// RenderAccuracy formats the scores.
+func RenderAccuracy(rows []Accuracy) *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"app", "policy", "truth-migratory", "detected TP", "FP", "FN", "precision", "recall"},
+	}
+	for _, a := range rows {
+		tab.Add(a.App, a.Policy.Name,
+			fmt.Sprintf("%d/%d", a.MigratoryBlocks, a.TotalBlocks),
+			fmt.Sprintf("%d", a.TruePositive),
+			fmt.Sprintf("%d", a.FalsePositive),
+			fmt.Sprintf("%d", a.FalseNegative),
+			stats.Percent(100*a.Precision())+"%",
+			stats.Percent(100*a.Recall())+"%")
+	}
+	return tab
+}

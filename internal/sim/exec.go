@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+
+	"migratory/internal/core"
+	"migratory/internal/memory"
+	"migratory/internal/stats"
+	"migratory/internal/timing"
+	"migratory/internal/workload"
+)
+
+// ExecApps are the three applications §4.2 simulates execution-driven: the
+// ones with the largest trace-driven message reductions.
+var ExecApps = []string{"Cholesky", "MP3D", "Water"}
+
+// execThink models each application's computation intensity between shared
+// accesses (instructions and private data are absent from the access
+// streams). MP3D touches shared particle state almost continuously, so its
+// execution time is dominated by the memory system; Water performs long
+// force computations per molecule pair.
+var execThink = map[string]uint64{
+	"Cholesky":    40,
+	"Locus Route": 20,
+	"MP3D":        30,
+	"Pthor":       16,
+	"Water":       210,
+}
+
+// ExecRow is one application's execution-driven comparison.
+type ExecRow struct {
+	App      string
+	Base     timing.Result // conventional protocol
+	Adaptive timing.Result // comparison protocol (paper: basic)
+	// ReductionPct is the parallel execution-time reduction.
+	ReductionPct float64
+}
+
+// ExecutionTime reproduces §4.2: execution-driven simulation of the
+// conventional protocol versus the given adaptive policy (the paper uses
+// basic) on the ExecApps, with round-robin placement and DASH-like
+// latencies. cacheBytes of 0 uses 64 KB per node.
+func ExecutionTime(opts Options, policy core.Policy, cacheBytes int) ([]ExecRow, error) {
+	opts = opts.withDefaults()
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 10
+	}
+	geom := memory.MustGeometry(16, PageSize)
+	var rows []ExecRow
+	for _, name := range opts.Apps {
+		prof, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
+		if err != nil {
+			return nil, err
+		}
+		params := timing.DefaultParams()
+		if t, ok := execThink[name]; ok {
+			params.ThinkCycles = t
+		}
+		base, err := timing.Run(accs, timing.Config{
+			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
+			Policy: core.Conventional, Params: params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		adp, err := timing.Run(accs, timing.Config{
+			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
+			Policy: policy, Params: params,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExecRow{
+			App:          name,
+			Base:         base,
+			Adaptive:     adp,
+			ReductionPct: timing.Reduction(base, adp),
+		})
+	}
+	return rows, nil
+}
+
+// RenderExec formats the §4.2 comparison.
+func RenderExec(rows []ExecRow, policy core.Policy) *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"app", "conventional cycles", policy.Name + " cycles", "time reduction", "stall(conv)", "stall(" + policy.Name + ")"},
+	}
+	for _, r := range rows {
+		tab.Add(r.App,
+			fmt.Sprintf("%d", r.Base.Cycles),
+			fmt.Sprintf("%d", r.Adaptive.Cycles),
+			stats.Percent(r.ReductionPct)+"%",
+			stats.Percent(100*r.Base.StallFraction())+"%",
+			stats.Percent(100*r.Adaptive.StallFraction())+"%")
+	}
+	return tab
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"migratory/internal/cost"
+)
+
+// FlatCell is the export-friendly form of one protocol run, used by the
+// CSV and JSON encoders so downstream tooling (plotting scripts,
+// spreadsheets) can regenerate the paper's figures from raw rows.
+type FlatCell struct {
+	App          string  `json:"app"`
+	Policy       string  `json:"policy"`
+	CacheBytes   int     `json:"cache_bytes"` // 0 = infinite
+	BlockSize    int     `json:"block_size"`
+	ShortMsgs    int     `json:"short_msgs"`
+	DataMsgs     int     `json:"data_msgs"`
+	TotalMsgs    int     `json:"total_msgs"`
+	ReductionPct float64 `json:"reduction_pct"` // vs the row's conventional cell
+}
+
+// Flatten converts the sweep into one FlatCell per (group, app, policy).
+func (sw *Sweep) Flatten() []FlatCell {
+	var out []FlatCell
+	for _, gv := range sw.GroupValues {
+		for _, row := range sw.Rows[gv] {
+			base := row.Cells[0]
+			for _, c := range row.Cells {
+				out = append(out, FlatCell{
+					App:          c.App,
+					Policy:       c.Policy.Name,
+					CacheBytes:   c.CacheBytes,
+					BlockSize:    c.BlockSize,
+					ShortMsgs:    c.Msgs.Short,
+					DataMsgs:     c.Msgs.Data,
+					TotalMsgs:    c.Msgs.Total(),
+					ReductionPct: cost.Reduction(base.Msgs, c.Msgs),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CSV renders the sweep as comma-separated rows with a header line.
+func (sw *Sweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("app,policy,cache_bytes,block_size,short_msgs,data_msgs,total_msgs,reduction_pct\n")
+	for _, c := range sw.Flatten() {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%.3f\n",
+			csvEscape(c.App), c.Policy, c.CacheBytes, c.BlockSize,
+			c.ShortMsgs, c.DataMsgs, c.TotalMsgs, c.ReductionPct)
+	}
+	return b.String()
+}
+
+// JSON renders the sweep as an indented JSON array of FlatCells.
+func (sw *Sweep) JSON() (string, error) {
+	raw, err := json.MarshalIndent(sw.Flatten(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw) + "\n", nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// FlatBusCell is the export form of one bus run.
+type FlatBusCell struct {
+	App           string  `json:"app"`
+	Protocol      string  `json:"protocol"`
+	CacheBytes    int     `json:"cache_bytes"`
+	ReadMiss      uint64  `json:"read_miss"`
+	WriteMiss     uint64  `json:"write_miss"`
+	Invalidation  uint64  `json:"invalidation"`
+	WriteBack     uint64  `json:"write_back"`
+	Total         uint64  `json:"total"`
+	Model1SavePct float64 `json:"model1_save_pct"`
+	Model2SavePct float64 `json:"model2_save_pct"`
+}
+
+// Flatten converts the bus sweep into one FlatBusCell per run.
+func (sw *BusSweep) Flatten() []FlatBusCell {
+	var out []FlatBusCell
+	for _, cb := range sw.CacheSizes {
+		for _, row := range sw.Rows[cb] {
+			base := row.Cells[0].Counts
+			for i, c := range row.Cells {
+				fc := FlatBusCell{
+					App:          c.App,
+					Protocol:     c.Protocol.String(),
+					CacheBytes:   cb,
+					ReadMiss:     c.Counts.ReadMiss,
+					WriteMiss:    c.Counts.WriteMiss,
+					Invalidation: c.Counts.Invalidation,
+					WriteBack:    c.Counts.WriteBack,
+					Total:        c.Counts.Total(),
+				}
+				if i > 0 {
+					fc.Model1SavePct = 100 * (1 - float64(c.Counts.Total())/float64(base.Total()))
+					fc.Model2SavePct = 100 * (1 - float64(c.Counts.Model2(c.Protocol.Adaptive()))/float64(base.Model2(false)))
+				}
+				out = append(out, fc)
+			}
+		}
+	}
+	return out
+}
+
+// CSV renders the bus sweep as comma-separated rows.
+func (sw *BusSweep) CSV() string {
+	var b strings.Builder
+	b.WriteString("app,protocol,cache_bytes,read_miss,write_miss,invalidation,write_back,total,model1_save_pct,model2_save_pct\n")
+	for _, c := range sw.Flatten() {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%d,%d,%d,%.3f,%.3f\n",
+			csvEscape(c.App), c.Protocol, c.CacheBytes,
+			c.ReadMiss, c.WriteMiss, c.Invalidation, c.WriteBack, c.Total,
+			c.Model1SavePct, c.Model2SavePct)
+	}
+	return b.String()
+}
+
+// JSON renders the bus sweep as an indented JSON array.
+func (sw *BusSweep) JSON() (string, error) {
+	raw, err := json.MarshalIndent(sw.Flatten(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw) + "\n", nil
+}

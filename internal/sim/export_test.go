@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"migratory/internal/snoop"
+)
+
+func smallSweep(t *testing.T) *Sweep {
+	t.Helper()
+	opts := testOpts("Water")
+	opts.Length = 20_000
+	sw, err := directorySweep(opts, nil, []int{4 << 10, 0}, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestSweepFlatten(t *testing.T) {
+	sw := smallSweep(t)
+	cells := sw.Flatten()
+	// 2 groups x 1 app x 4 policies.
+	if len(cells) != 8 {
+		t.Fatalf("flattened %d cells", len(cells))
+	}
+	if cells[0].Policy != "conventional" || cells[0].ReductionPct != 0 {
+		t.Fatalf("first cell = %+v", cells[0])
+	}
+	for _, c := range cells {
+		if c.App != "Water" || c.BlockSize != 16 {
+			t.Fatalf("cell = %+v", c)
+		}
+		if c.TotalMsgs != c.ShortMsgs+c.DataMsgs {
+			t.Fatalf("totals wrong: %+v", c)
+		}
+	}
+	if cells[3].Policy != "aggressive" || cells[3].ReductionPct <= 0 {
+		t.Fatalf("aggressive cell = %+v", cells[3])
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	sw := smallSweep(t)
+	out := sw.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app,policy,cache_bytes") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Water,conventional,4096,16,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 7 {
+			t.Fatalf("row %q has %d commas", l, got)
+		}
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	sw := smallSweep(t)
+	out, err := sw.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []FlatCell
+	if err := json.Unmarshal([]byte(out), &cells); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(cells) != 8 || cells[0].App != "Water" {
+		t.Fatalf("decoded %d cells", len(cells))
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"Water":       "Water",
+		"Locus Route": "Locus Route",
+		"a,b":         `"a,b"`,
+		`say "hi"`:    `"say ""hi"""`,
+		"line\nbreak": "\"line\nbreak\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q; want %q", in, got, want)
+		}
+	}
+}
+
+func TestBusSweepExports(t *testing.T) {
+	opts := testOpts("Water")
+	opts.Length = 20_000
+	sw, err := RunBus(opts, []int{64 << 10}, []snoop.Protocol{snoop.MESI, snoop.Adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := sw.Flatten()
+	if len(cells) != 2 {
+		t.Fatalf("flattened %d cells", len(cells))
+	}
+	if cells[0].Protocol != "mesi" || cells[0].Model1SavePct != 0 {
+		t.Fatalf("base cell = %+v", cells[0])
+	}
+	if cells[1].Model1SavePct <= 0 {
+		t.Fatalf("adaptive cell = %+v", cells[1])
+	}
+	if cells[1].Total != cells[1].ReadMiss+cells[1].WriteMiss+cells[1].Invalidation+cells[1].WriteBack {
+		t.Fatalf("total mismatch: %+v", cells[1])
+	}
+
+	csv := sw.CSV()
+	if !strings.Contains(csv, "mesi") || !strings.Contains(csv, "adaptive") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	jsonOut, err := sw.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []FlatBusCell
+	if err := json.Unmarshal([]byte(jsonOut), &decoded); err != nil || len(decoded) != 2 {
+		t.Fatalf("json decode: %v (%d cells)", err, len(decoded))
+	}
+}

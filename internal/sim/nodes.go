@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/stats"
+	"migratory/internal/workload"
+)
+
+// NodeCountRow is one machine-size point of the scalability sweep.
+type NodeCountRow struct {
+	App   string
+	Nodes int
+	// Reductions per adaptive policy, ordered like core.Policies()[1:].
+	Reductions []float64
+	BaseMsgs   cost.Msgs
+}
+
+// NodeCountSweep measures how the adaptive protocols' message reduction
+// scales with machine size. The paper simulates sixteen processors
+// throughout; this sweep is the natural sensitivity study (the migratory
+// pattern itself is machine-size independent — one processor at a time —
+// so the benefit should hold from small to large machines). Infinite
+// caches, 16-byte blocks.
+func NodeCountSweep(app string, nodeCounts []int, opts Options) ([]NodeCountRow, error) {
+	opts = opts.withDefaults()
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{4, 8, 16, 32, 64}
+	}
+	prof, err := workload.ProfileByName(app)
+	if err != nil {
+		return nil, err
+	}
+	geom := memory.MustGeometry(16, PageSize)
+	var rows []NodeCountRow
+	for _, n := range nodeCounts {
+		if n < 2 || n > memory.MaxNodes {
+			return nil, fmt.Errorf("sim: node count %d out of range", n)
+		}
+		accs, err := workload.Generate(prof, n, opts.Seed, opts.Length)
+		if err != nil {
+			return nil, err
+		}
+		pl := placement.UsageBased(accs, geom, n)
+		row := NodeCountRow{App: app, Nodes: n}
+		var base cost.Msgs
+		for i, pol := range core.Policies() {
+			sys, err := directory.New(directory.Config{
+				Nodes: n, Geometry: geom, Policy: pol, Placement: pl,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Run(accs); err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = sys.Messages()
+				row.BaseMsgs = base
+				continue
+			}
+			row.Reductions = append(row.Reductions, cost.Reduction(base, sys.Messages()))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderNodeCount formats the scalability sweep.
+func RenderNodeCount(rows []NodeCountRow) *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"app", "nodes", "conv msgs", "conservative", "basic", "aggressive"},
+	}
+	for _, r := range rows {
+		cells := []string{r.App, fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.BaseMsgs.Total())}
+		for _, red := range r.Reductions {
+			cells = append(cells, stats.Percent(red)+"%")
+		}
+		tab.Add(cells...)
+	}
+	return tab
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeCountSweep(t *testing.T) {
+	opts := testOpts("Water")
+	opts.Length = 60_000
+	rows, err := NodeCountSweep("Water", []int{4, 16, 32}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Reductions) != 3 {
+			t.Fatalf("%d nodes: %d reductions", r.Nodes, len(r.Reductions))
+		}
+		// The migratory benefit is machine-size independent: every point
+		// keeps a substantial aggressive reduction.
+		if r.Reductions[2] < 25 {
+			t.Errorf("%d nodes: aggressive reduction %.1f < 25", r.Nodes, r.Reductions[2])
+		}
+		if r.BaseMsgs.Total() == 0 {
+			t.Errorf("%d nodes: empty baseline", r.Nodes)
+		}
+	}
+	out := RenderNodeCount(rows).String()
+	for _, want := range []string{"Water", "nodes", "aggressive", "32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNodeCountSweepErrors(t *testing.T) {
+	if _, err := NodeCountSweep("nope", nil, testOpts()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := NodeCountSweep("Water", []int{1}, testOpts("Water")); err == nil {
+		t.Fatal("node count 1 accepted")
+	}
+	if _, err := NodeCountSweep("Water", []int{100}, testOpts("Water")); err == nil {
+		t.Fatal("node count 100 accepted")
+	}
+}
+
+func TestNodeCountSweepDefaultCounts(t *testing.T) {
+	opts := testOpts("MP3D")
+	opts.Length = 30_000
+	rows, err := NodeCountSweep("MP3D", nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Nodes != 4 || rows[4].Nodes != 64 {
+		t.Fatalf("default counts: %+v", rows)
+	}
+}

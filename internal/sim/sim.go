@@ -1,0 +1,384 @@
+// Package sim drives the trace-driven experiments of §4: it prepares the
+// synthetic application traces, computes page placements, runs the
+// directory and bus systems across parameter sweeps, and renders the
+// paper's tables.
+//
+// Trace-driven simulation is two-pass, as in the paper's methodology: a
+// first pass over the trace profiles page usage to compute the "good static
+// placement" of §3.3, and the second pass simulates the protocol.
+package sim
+
+import (
+	"fmt"
+
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/placement"
+	"migratory/internal/snoop"
+	"migratory/internal/stats"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+// PageSize is fixed at 4 KB in both of the paper's simulators (§3.3).
+const PageSize = 4096
+
+// Options configures an experiment sweep.
+type Options struct {
+	// Nodes is the processor count (paper: 16).
+	Nodes int
+	// Seed drives the workload generators.
+	Seed int64
+	// Length overrides each profile's default trace length (0 = default).
+	Length int
+	// Apps restricts the applications (nil = all five).
+	Apps []string
+	// Policies restricts the protocols (nil = the paper's four).
+	Policies []core.Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1993
+	}
+	if len(o.Apps) == 0 {
+		for _, p := range workload.Profiles() {
+			o.Apps = append(o.Apps, p.Name)
+		}
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = core.Policies()
+	}
+	return o
+}
+
+// App is a prepared application: its trace and usage-based placement.
+type App struct {
+	Name      string
+	Trace     []trace.Access
+	Placement placement.Policy
+}
+
+// PrepareApp generates the trace for one application and computes the
+// usage-based static placement over it. The geometry used for placement is
+// page-granular, so one preparation serves every block size.
+func PrepareApp(name string, opts Options) (*App, error) {
+	opts = opts.withDefaults()
+	prof, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
+	if err != nil {
+		return nil, err
+	}
+	return NewApp(name, accs, opts.Nodes), nil
+}
+
+// NewApp wraps an externally supplied trace (for example one read from a
+// tracegen file) with a usage-based placement so it can drive the sweeps
+// exactly like a built-in application.
+func NewApp(name string, accs []trace.Access, nodes int) *App {
+	geom := memory.MustGeometry(16, PageSize) // block size irrelevant for pages
+	return &App{
+		Name:      name,
+		Trace:     accs,
+		Placement: placement.UsageBased(accs, geom, nodes),
+	}
+}
+
+// Cell is one protocol run's outcome.
+type Cell struct {
+	App        string
+	Policy     core.Policy
+	CacheBytes int
+	BlockSize  int
+	Msgs       cost.Msgs
+	Counters   directory.Counters
+}
+
+// Reduction returns the percentage total-message reduction of this cell
+// relative to base (normally the conventional cell of the same row).
+func (c Cell) Reduction(base Cell) float64 { return cost.Reduction(base.Msgs, c.Msgs) }
+
+// RunDirectoryCell simulates one (app, policy, cache size, block size)
+// combination.
+func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, blockSize int) (Cell, error) {
+	opts = opts.withDefaults()
+	geom, err := memory.NewGeometry(blockSize, PageSize)
+	if err != nil {
+		return Cell{}, err
+	}
+	sys, err := directory.New(directory.Config{
+		Nodes:      opts.Nodes,
+		Geometry:   geom,
+		CacheBytes: cacheBytes,
+		Policy:     policy,
+		Placement:  app.Placement,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	if err := sys.Run(app.Trace); err != nil {
+		return Cell{}, err
+	}
+	return Cell{
+		App:        app.Name,
+		Policy:     policy,
+		CacheBytes: cacheBytes,
+		BlockSize:  blockSize,
+		Msgs:       sys.Messages(),
+		Counters:   sys.Counters(),
+	}, nil
+}
+
+// Row is one application's results across the protocol list, at one cache
+// and block size. Cells are ordered like Options.Policies.
+type Row struct {
+	App        string
+	CacheBytes int
+	BlockSize  int
+	Cells      []Cell
+}
+
+// Sweep holds a full table's worth of rows in paper order: the outer
+// grouping mirrors the paper (cache sizes for Table 2, block sizes for
+// Table 3).
+type Sweep struct {
+	Options Options
+	// Groups maps the outer parameter (cache bytes or block size) to rows.
+	GroupValues []int
+	Rows        map[int][]Row
+	// GroupIsCache is true for Table 2 style sweeps.
+	GroupIsCache bool
+}
+
+// Table2CacheSizes are the per-node cache capacities of Table 2.
+var Table2CacheSizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// Table3BlockSizes are the block sizes of Table 3.
+var Table3BlockSizes = []int{16, 32, 64, 128, 256}
+
+// Table2 reproduces the paper's Table 2 sweep: message counts by cache
+// size, application, and protocol at 16-byte blocks.
+func Table2(opts Options) (*Sweep, error) {
+	return directorySweep(opts, nil, Table2CacheSizes, nil, true)
+}
+
+// Table3 reproduces Table 3: message counts by block size with infinite
+// caches.
+func Table3(opts Options) (*Sweep, error) {
+	return directorySweep(opts, nil, nil, Table3BlockSizes, false)
+}
+
+// Table2Apps and Table3Apps run the same sweeps over caller-prepared apps
+// (for example external traces wrapped with NewApp).
+func Table2Apps(apps []*App, opts Options) (*Sweep, error) {
+	return directorySweep(opts, apps, Table2CacheSizes, nil, true)
+}
+
+// Table3Apps is the block-size sweep over caller-prepared apps.
+func Table3Apps(apps []*App, opts Options) (*Sweep, error) {
+	return directorySweep(opts, apps, nil, Table3BlockSizes, false)
+}
+
+func directorySweep(opts Options, apps []*App, cacheSizes, blockSizes []int, groupIsCache bool) (*Sweep, error) {
+	opts = opts.withDefaults()
+	sw := &Sweep{Options: opts, Rows: make(map[int][]Row), GroupIsCache: groupIsCache}
+	if groupIsCache {
+		sw.GroupValues = cacheSizes
+	} else {
+		sw.GroupValues = blockSizes
+	}
+	if apps == nil {
+		for _, name := range opts.Apps {
+			app, err := PrepareApp(name, opts)
+			if err != nil {
+				return nil, err
+			}
+			apps = append(apps, app)
+		}
+	}
+	for _, app := range apps {
+		for _, gv := range sw.GroupValues {
+			cacheBytes, blockSize := gv, 16
+			if !groupIsCache {
+				cacheBytes, blockSize = 0, gv
+			}
+			row := Row{App: app.Name, CacheBytes: cacheBytes, BlockSize: blockSize}
+			for _, pol := range opts.Policies {
+				cell, err := RunDirectoryCell(app, opts, pol, cacheBytes, blockSize)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
+				}
+				row.Cells = append(row.Cells, cell)
+			}
+			sw.Rows[gv] = append(sw.Rows[gv], row)
+		}
+	}
+	return sw, nil
+}
+
+// Render produces the paper-style table: per group, one row per app with
+// w/o-data and w/-data counts (in thousands) per protocol and percentage
+// reduction relative to the first (conventional) protocol.
+func (sw *Sweep) Render() *stats.Table {
+	tab := &stats.Table{}
+	header := []string{"", ""}
+	for i, p := range sw.Options.Policies {
+		header = append(header, p.Name+" w/o", "w/")
+		if i > 0 {
+			header = append(header, "%")
+		}
+	}
+	tab.Header = header
+	for _, gv := range sw.GroupValues {
+		label := stats.KB(gv)
+		if !sw.GroupIsCache {
+			label = fmt.Sprintf("%d-byte", gv)
+		}
+		tab.Add(label)
+		for _, row := range sw.Rows[gv] {
+			cells := []string{"", row.App}
+			base := row.Cells[0]
+			for i, c := range row.Cells {
+				cells = append(cells, stats.Thousands(c.Msgs.Short), stats.Thousands(c.Msgs.Data))
+				if i > 0 {
+					cells = append(cells, stats.Percent(c.Reduction(base)))
+				}
+			}
+			tab.Add(cells...)
+		}
+	}
+	return tab
+}
+
+// CostRatioTable renders §4.1's weighted cost analysis for a sweep: the
+// percentage reduction of each adaptive protocol under data:short cost
+// ratios of 1, 2, and 4, plus the per-16-bytes model.
+func (sw *Sweep) CostRatioTable() *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"", "", "protocol", "1:1", "2:1", "4:1", "per-16B"},
+	}
+	for _, gv := range sw.GroupValues {
+		label := stats.KB(gv)
+		if !sw.GroupIsCache {
+			label = fmt.Sprintf("%d-byte", gv)
+		}
+		for _, row := range sw.Rows[gv] {
+			base := row.Cells[0]
+			for _, c := range row.Cells[1:] {
+				tab.Add(label, row.App, c.Policy.Name,
+					stats.Percent(cost.Reduction(base.Msgs, c.Msgs)),
+					stats.Percent(cost.WeightedReduction(base.Msgs, c.Msgs, 2)),
+					stats.Percent(cost.WeightedReduction(base.Msgs, c.Msgs, 4)),
+					stats.Percent(cost.PerBytesReduction(base.Msgs, c.Msgs, row.BlockSize)))
+			}
+		}
+	}
+	return tab
+}
+
+// BusCell is one bus-protocol run.
+type BusCell struct {
+	App        string
+	Protocol   snoop.Protocol
+	CacheBytes int
+	Counts     snoop.Counts
+}
+
+// BusRow groups the protocols for one app and cache size.
+type BusRow struct {
+	App        string
+	CacheBytes int
+	Cells      []BusCell
+}
+
+// BusSweep holds §4.3's experiment.
+type BusSweep struct {
+	Options    Options
+	CacheSizes []int
+	Protocols  []snoop.Protocol
+	Rows       map[int][]BusRow
+}
+
+// BusCacheSizes are the cache sizes §4.3 quotes (64 KB and 1 MB).
+var BusCacheSizes = []int{64 << 10, 1 << 20}
+
+// RunBus runs the bus-based comparison of §4.3 over the given cache sizes
+// (nil = BusCacheSizes) and protocols (nil = MESI, Adaptive,
+// AdaptiveMigrateFirst).
+func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSweep, error) {
+	opts = opts.withDefaults()
+	if cacheSizes == nil {
+		cacheSizes = BusCacheSizes
+	}
+	if protocols == nil {
+		protocols = []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst}
+	}
+	sw := &BusSweep{Options: opts, CacheSizes: cacheSizes, Protocols: protocols, Rows: make(map[int][]BusRow)}
+	geom := memory.MustGeometry(16, PageSize)
+	for _, name := range opts.Apps {
+		prof, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
+		if err != nil {
+			return nil, err
+		}
+		for _, cb := range cacheSizes {
+			row := BusRow{App: name, CacheBytes: cb}
+			for _, p := range protocols {
+				sys, err := snoop.New(snoop.Config{
+					Nodes:      opts.Nodes,
+					Geometry:   geom,
+					CacheBytes: cb,
+					Protocol:   p,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := sys.Run(accs); err != nil {
+					return nil, err
+				}
+				row.Cells = append(row.Cells, BusCell{App: name, Protocol: p, CacheBytes: cb, Counts: sys.Counts()})
+			}
+			sw.Rows[cb] = append(sw.Rows[cb], row)
+		}
+	}
+	return sw, nil
+}
+
+// Render produces the §4.3 summary: savings relative to the first
+// (conventional) protocol under both bus cost models.
+func (sw *BusSweep) Render() *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"cache", "app", "protocol", "txns", "save%(model1)", "save%(model2)"},
+	}
+	for _, cb := range sw.CacheSizes {
+		for _, row := range sw.Rows[cb] {
+			base := row.Cells[0]
+			b1 := float64(base.Counts.Total())
+			b2 := float64(base.Counts.Model2(false))
+			for i, c := range row.Cells {
+				if i == 0 {
+					tab.Add(stats.KB(cb), row.App, c.Protocol.String(),
+						fmt.Sprintf("%d", c.Counts.Total()), "", "")
+					continue
+				}
+				m1 := 100 * (1 - float64(c.Counts.Total())/b1)
+				m2 := 100 * (1 - float64(c.Counts.Model2(true))/b2)
+				tab.Add(stats.KB(cb), row.App, c.Protocol.String(),
+					fmt.Sprintf("%d", c.Counts.Total()),
+					stats.Percent(m1), stats.Percent(m2))
+			}
+		}
+	}
+	return tab
+}

@@ -1,0 +1,110 @@
+package snoop
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+// TestExhaustiveStateSpace explores every reachable protocol state for one
+// block shared by three processors, breadth-first with deduplication: from
+// each reachable state it applies all six possible processor events and
+// verifies the invariants. It also demands that the state space *closes*
+// (no new states appear before the depth bound) — an unbounded counter or
+// a state leak would fail here.
+func TestExhaustiveStateSpace(t *testing.T) {
+	type variant struct {
+		p Protocol
+		h int
+	}
+	variants := []variant{
+		{MESI, 1}, {Adaptive, 1}, {Adaptive, 2}, {Adaptive, 3},
+		{AdaptiveMigrateFirst, 1}, {Symmetry, 1}, {Berkeley, 1}, {UpdateOnce, 1},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(fmt.Sprintf("%s-h%d", v.p, v.h), func(t *testing.T) {
+			explored := exploreSnoop(t, v.p, v.h)
+			if explored < 4 {
+				t.Fatalf("only %d states explored", explored)
+			}
+			t.Logf("%s h%d: %d reachable states", v.p, v.h, explored)
+		})
+	}
+}
+
+// snoopSignature captures everything transition-relevant about one block's
+// global state: per-node (state, dirty, aux). Write-version counters are
+// excluded — they grow without bound and do not influence transitions.
+func snoopSignature(s *System, nodes int) string {
+	var b strings.Builder
+	for i := 0; i < nodes; i++ {
+		line := s.caches[i].Peek(0)
+		if line == nil {
+			b.WriteString("- ")
+			continue
+		}
+		fmt.Fprintf(&b, "%s/%v/%d ", StateName(line.State), line.Dirty, line.Aux)
+	}
+	return b.String()
+}
+
+func exploreSnoop(t *testing.T, p Protocol, h int) int {
+	t.Helper()
+	const nodes = 3
+	var events []trace.Access
+	for n := memory.NodeID(0); n < nodes; n++ {
+		events = append(events,
+			trace.Access{Node: n, Kind: trace.Read, Addr: 0},
+			trace.Access{Node: n, Kind: trace.Write, Addr: 0},
+		)
+	}
+	replay := func(path []trace.Access) *System {
+		s, err := New(Config{
+			Nodes: nodes, Geometry: geom, Protocol: p, Hysteresis: h,
+			CheckCoherence: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range path {
+			if err := s.Access(a); err != nil {
+				t.Fatalf("replaying %v at %d: %v", path, i, err)
+			}
+		}
+		return s
+	}
+
+	seen := map[string][]trace.Access{}
+	start := replay(nil)
+	frontier := []string{snoopSignature(start, nodes)}
+	seen[frontier[0]] = nil
+
+	const depthBound = 40
+	for depth := 0; depth < depthBound && len(frontier) > 0; depth++ {
+		var next []string
+		for _, sig := range frontier {
+			path := seen[sig]
+			for _, ev := range events {
+				s := replay(append(append([]trace.Access{}, path...), ev))
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("state %q + %v: %v", sig, ev, err)
+				}
+				ns := snoopSignature(s, nodes)
+				if _, ok := seen[ns]; ok {
+					continue
+				}
+				seen[ns] = append(append([]trace.Access{}, path...), ev)
+				next = append(next, ns)
+			}
+		}
+		frontier = next
+	}
+	if len(frontier) != 0 {
+		t.Fatalf("state space did not close within %d steps: %d states and growing", depthBound, len(seen))
+	}
+	return len(seen)
+}

@@ -1,0 +1,246 @@
+package snoop
+
+import (
+	"strings"
+	"testing"
+
+	"migratory/internal/cache"
+	"migratory/internal/trace"
+)
+
+// TestClassificationLostOnEviction: unlike the directory protocols, the
+// snooping protocol keeps no state for uncached blocks (§4.3: "the snooping
+// protocol can not retain the classification of a block across time
+// intervals in which the block is not cached").
+func TestClassificationLostOnEviction(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Protocol: Adaptive, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classify block 0 as migratory at node 2.
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0),
+		acc(2, trace.Write, 0), // MD at node 2
+	})
+	if state(s, 2) != int(StateMD) {
+		t.Fatalf("setup: states = %v", s.States(0))
+	}
+	// Evict it from node 2 (write-back), then have node 3 reload it.
+	run(t, s, []trace.Access{
+		acc(2, trace.Read, 16),
+		acc(2, trace.Read, 32), // evicts block 0 (dirty)
+		acc(3, trace.Read, 0),
+	})
+	if s.Counts().WriteBack != 1 {
+		t.Fatalf("counts = %+v", s.Counts())
+	}
+	// The reload finds no migratory evidence: plain Exclusive.
+	if got := s.States(0)[3]; got != int(StateE) {
+		t.Fatalf("reloaded state = %s; want E (classification lost)", StateName(cache.State(got)))
+	}
+}
+
+// TestHitCounters: reads and writes that stay local are counted.
+func TestHitCounters(t *testing.T) {
+	s := newSys(t, Adaptive)
+	run(t, s, []trace.Access{
+		acc(1, trace.Read, 0),  // miss
+		acc(1, trace.Read, 0),  // hit
+		acc(1, trace.Write, 0), // E->D silent (write hit)
+		acc(1, trace.Write, 0), // D silent
+		acc(1, trace.Read, 0),  // hit
+	})
+	r, w := s.Hits()
+	if r != 2 || w != 2 {
+		t.Fatalf("hits = %d %d", r, w)
+	}
+}
+
+// TestSymmetryEvictionWritesBack: a migrated-dirty Symmetry block that gets
+// evicted must write back (memory was stale the whole time).
+func TestSymmetryEvictionWritesBack(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Protocol: Symmetry, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0), // D at 1
+		acc(2, trace.Read, 0),  // migrates, still dirty, at 2
+		acc(2, trace.Read, 16),
+		acc(2, trace.Read, 32), // evicts block 0
+	})
+	if s.Counts().WriteBack != 1 {
+		t.Fatalf("counts = %+v", s.Counts())
+	}
+	// The data must not be lost: node 3 reads the latest version.
+	run(t, s, []trace.Access{acc(3, trace.Read, 0)})
+}
+
+// TestWriteMissWithTwoSharedCopies: both copies invalidate, no Migratory.
+func TestWriteMissWithSharedPair(t *testing.T) {
+	s := newSys(t, Adaptive)
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0), // 1:S2 2:S
+		acc(3, trace.Write, 0),
+	})
+	if state(s, 1) != -1 || state(s, 2) != -1 {
+		t.Fatalf("states = %v", s.States(0))
+	}
+	if state(s, 3) != int(StateD) {
+		t.Fatalf("states = %v", s.States(0))
+	}
+}
+
+// TestBirWithNoOtherCopies: a lone S copy writing still issues a Bir (the
+// cache cannot know it is alone) and lands in D.
+func TestBirWithNoOtherCopies(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Protocol: Adaptive, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0), // 1:S2 2:S
+		// Node 1's S2 copy is evicted by conflicting fills.
+		acc(1, trace.Read, 16),
+		acc(1, trace.Read, 32),
+		// Node 2 writes its now-lone S copy.
+		acc(2, trace.Write, 0),
+	})
+	if got := s.States(0)[2]; got != int(StateD) {
+		t.Fatalf("state = %v", s.States(0))
+	}
+	if s.Counts().Invalidation != 1 {
+		t.Fatalf("counts = %+v", s.Counts())
+	}
+}
+
+// TestRunErrorIncludesIndex mirrors the directory behaviour.
+func TestRunErrorIncludesIndex(t *testing.T) {
+	s := newSys(t, MESI)
+	err := s.Run([]trace.Access{
+		acc(0, trace.Read, 0),
+		acc(42, trace.Read, 0),
+	})
+	if err == nil || !strings.Contains(err.Error(), "access 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestConfigAccessorSnoop returns the configuration with defaults applied.
+func TestConfigAccessorSnoop(t *testing.T) {
+	s := newSys(t, Adaptive)
+	cfg := s.Config()
+	if cfg.Protocol != Adaptive || cfg.Assoc != 4 || cfg.Hysteresis != 1 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+// TestEvidencePropagationThroughStates: with Hysteresis 3 the evidence
+// counter must survive the D -> S2 -> (Bir) -> D chain until the third
+// event classifies.
+func TestEvidencePropagationThroughStates(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 16, Geometry: geom, Protocol: Adaptive,
+		Hysteresis: 3, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event 1: write miss to single D copy.
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Write, 0), // evidence 1, still D
+	})
+	if got := state(s, 2); got != int(StateD) {
+		t.Fatalf("after event 1: %v", s.States(0))
+	}
+	// Event 2: S2 detection via Bir.
+	run(t, s, []trace.Access{
+		acc(3, trace.Read, 0),  // 2:S2(ev1) 3:S
+		acc(3, trace.Write, 0), // evidence 2, still D
+	})
+	if got := state(s, 3); got != int(StateD) {
+		t.Fatalf("after event 2: %v", s.States(0))
+	}
+	// Event 3 classifies.
+	run(t, s, []trace.Access{
+		acc(4, trace.Read, 0),
+		acc(4, trace.Write, 0),
+	})
+	if got := state(s, 4); got != int(StateMD) {
+		t.Fatalf("after event 3: %v", s.States(0))
+	}
+}
+
+// TestMigrateFirstOnSharedDataStillReplicates: even with the migratory
+// initial policy, read-shared data settles into replication.
+func TestMigrateFirstOnSharedDataStillReplicates(t *testing.T) {
+	s := newSys(t, AdaptiveMigrateFirst)
+	run(t, s, []trace.Access{
+		acc(1, trace.Read, 0), // MC
+		acc(2, trace.Read, 0), // clean handoff: declassify to S2/S
+	})
+	if state(s, 1) != int(StateS2) || state(s, 2) != int(StateS) {
+		t.Fatalf("states = %v", s.States(0))
+	}
+	// Subsequent readers replicate freely.
+	run(t, s, []trace.Access{acc(3, trace.Read, 0), acc(4, trace.Read, 0)})
+	for _, n := range []int{1, 2, 3, 4} {
+		if st := s.States(0)[n]; st != int(StateS) && st != int(StateS2) {
+			t.Fatalf("node %d state %d; want shared", n, st)
+		}
+	}
+}
+
+// TestMemoryUpdateOnMigration: after an MD migration the block is clean at
+// the new holder (memory snooped the transfer), so its eviction is silent.
+func TestMemoryUpdateOnMigration(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Protocol: Adaptive, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0),
+		acc(2, trace.Write, 0), // MD at 2
+		acc(3, trace.Read, 0),  // MC at 3 (clean: memory updated)
+		acc(3, trace.Read, 16),
+		acc(3, trace.Read, 32), // evicts block 0 at node 3
+	})
+	if s.Counts().WriteBack != 0 {
+		t.Fatalf("MC eviction wrote back: %+v", s.Counts())
+	}
+	// And the value is intact.
+	run(t, s, []trace.Access{acc(0, trace.Read, 0)})
+}
+
+// TestStatesSnapshotLength: States sizes to the node count.
+func TestStatesSnapshotLength(t *testing.T) {
+	s, err := New(Config{Nodes: 5, Geometry: geom, Protocol: MESI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.States(0)); got != 5 {
+		t.Fatalf("len = %d", got)
+	}
+	for _, st := range s.States(0) {
+		if st != -1 {
+			t.Fatal("empty system has states")
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package snoop
+
+import (
+	"testing"
+
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+// TestUpdateOnceMigrationTakesThreeOps reproduces §5's criticism of the
+// Alpha-style hybrid protocol: "it can take as many as three inter-cache
+// operations to migrate a block": the read miss, a first write that
+// updates the old copy, and a second write that finally invalidates it.
+func TestUpdateOnceMigrationTakesThreeOps(t *testing.T) {
+	s := newSys(t, UpdateOnce)
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0), // miss -> D at 1
+		acc(1, trace.Write, 0), // silent
+	})
+	base := s.Counts()
+	// P2 migrates the block with a read followed by two word writes.
+	run(t, s, []trace.Access{
+		acc(2, trace.Read, 0),  // replicate: 1:S, 2:S       (op 1)
+		acc(2, trace.Write, 0), // update, P1's copy survives (op 2)
+		acc(2, trace.Write, 4), // update, P1 self-invalidates, P2 -> E (op 3)
+	})
+	d := s.Counts()
+	if d.ReadMiss-base.ReadMiss != 1 || d.Update-base.Update != 2 {
+		t.Fatalf("counts delta: %+v -> %+v", base, d)
+	}
+	if state(s, 1) != -1 {
+		t.Fatalf("old copy survived: %v", s.States(0))
+	}
+	if state(s, 2) != int(StateE) {
+		t.Fatalf("writer state = %v; want E", s.States(0))
+	}
+	// Further writes are silent (E -> D).
+	before := s.Counts()
+	run(t, s, []trace.Access{acc(2, trace.Write, 8)})
+	if s.Counts() != before {
+		t.Fatal("post-promotion write used the bus")
+	}
+	if state(s, 2) != int(StateD) {
+		t.Fatalf("state = %v", s.States(0))
+	}
+}
+
+// TestUpdateOnceLocalAccessRenewsInterest: a copy that keeps being read
+// locally is never self-invalidated — the update stream keeps it fresh.
+func TestUpdateOnceLocalAccessRenewsInterest(t *testing.T) {
+	s := newSys(t, UpdateOnce)
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0), // 1:S 2:S
+	})
+	// Producer/consumer: node 1 writes, node 2 reads, repeatedly. Node 2's
+	// copy must survive the whole run (this is where update protocols
+	// shine), and every read must see the latest value.
+	for i := 0; i < 10; i++ {
+		run(t, s, []trace.Access{
+			acc(1, trace.Write, 0),
+			acc(2, trace.Read, 0),
+		})
+	}
+	if state(s, 2) != int(StateS) {
+		t.Fatalf("consumer copy lost: %v", s.States(0))
+	}
+	// And the consumer never took another read miss.
+	if got := s.Counts().ReadMiss; got != 1 {
+		t.Fatalf("read misses = %d; want 1", got)
+	}
+}
+
+// TestUpdateOncePenalizesMigratoryVersusAdaptive: the §5 quantitative
+// point — on migratory data the hybrid needs ~3 bus operations per
+// migration where the adaptive protocol needs 1.
+func TestUpdateOncePenalizesMigratoryVersusAdaptive(t *testing.T) {
+	mk := func() []trace.Access {
+		var accs []trace.Access
+		for round := 0; round < 50; round++ {
+			for n := memory.NodeID(0); n < 4; n++ {
+				accs = append(accs,
+					acc(n, trace.Read, 0),
+					acc(n, trace.Write, 0),
+					acc(n, trace.Write, 4),
+				)
+			}
+		}
+		return accs
+	}
+	uo := newSys(t, UpdateOnce)
+	adp := newSys(t, Adaptive)
+	run(t, uo, mk())
+	run(t, adp, mk())
+	u, a := uo.Counts().Total(), adp.Counts().Total()
+	if u < 2*a {
+		t.Fatalf("update-once %d vs adaptive %d: expected ~3x penalty", u, a)
+	}
+	if float64(u) > 3.5*float64(a) {
+		t.Fatalf("update-once %d vs adaptive %d: penalty implausibly large", u, a)
+	}
+}
+
+// TestUpdateOnceValidatesAndNames: plumbing.
+func TestUpdateOnceValidatesAndNames(t *testing.T) {
+	if UpdateOnce.String() != "update-once" {
+		t.Fatalf("name = %q", UpdateOnce)
+	}
+	if UpdateOnce.Adaptive() {
+		t.Fatal("update-once is not adaptive")
+	}
+	cfg := Config{Nodes: 4, Geometry: geom, Protocol: UpdateOnce}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{Nodes: 4, Geometry: geom, Protocol: Protocol(10)}).Validate() == nil {
+		t.Fatal("out-of-range protocol accepted")
+	}
+}
+
+// TestUpdateCountsInCostModels: updates appear in both cost models as
+// single-unit operations.
+func TestUpdateCountsInCostModels(t *testing.T) {
+	c := Counts{ReadMiss: 2, Update: 5}
+	if c.Total() != 7 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Model2(false) != 2*2+5 {
+		t.Fatalf("Model2 = %d", c.Model2(false))
+	}
+}
+
+// TestUpdateOnceThreeSharers: one update reaches every copy; stragglers
+// that keep reading stay, idle ones fall away independently.
+func TestUpdateOnceThreeSharers(t *testing.T) {
+	s := newSys(t, UpdateOnce)
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0),
+		acc(3, trace.Read, 0), // 1:S 2:S 3:S
+	})
+	// Node 1 writes twice; node 2 reads between them, node 3 does not.
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0),
+		acc(1, trace.Write, 4),
+	})
+	if state(s, 2) != int(StateS) {
+		t.Fatalf("active reader lost its copy: %v", s.States(0))
+	}
+	if state(s, 3) != -1 {
+		t.Fatalf("idle copy survived two updates: %v", s.States(0))
+	}
+	if got := s.Counts().Update; got != 2 {
+		t.Fatalf("updates = %d", got)
+	}
+}
+
+// --- Berkeley Ownership protocol (paper reference [12]) ---
+
+// TestBerkeleyOwnershipBasics: reads of a dirty block are served
+// cache-to-cache; the supplier keeps the dirty master copy (state O) and
+// memory stays stale until the owner is replaced.
+func TestBerkeleyOwnershipBasics(t *testing.T) {
+	s := newSys(t, Berkeley)
+	run(t, s, []trace.Access{
+		acc(1, trace.Read, 0), // no E state: plain S
+	})
+	if state(s, 1) != int(StateS) {
+		t.Fatalf("states = %v", s.States(0))
+	}
+	run(t, s, []trace.Access{
+		acc(1, trace.Write, 0), // Bir even though alone -> D
+	})
+	if state(s, 1) != int(StateD) || s.Counts().Invalidation != 1 {
+		t.Fatalf("states = %v counts = %+v", s.States(0), s.Counts())
+	}
+	run(t, s, []trace.Access{acc(2, trace.Read, 0)})
+	if state(s, 1) != int(StateO) || state(s, 2) != int(StateS) {
+		t.Fatalf("states = %v", s.States(0))
+	}
+	// More readers: the owner keeps supplying.
+	run(t, s, []trace.Access{acc(3, trace.Read, 0)})
+	if state(s, 1) != int(StateO) || state(s, 3) != int(StateS) {
+		t.Fatalf("states = %v", s.States(0))
+	}
+	// Every reader sees the owner's value (coherence check is on).
+}
+
+// TestBerkeleyOwnerEvictionWritesBack: replacing an O line flushes the
+// only up-to-date copy.
+func TestBerkeleyOwnerEvictionWritesBack(t *testing.T) {
+	s, err := New(Config{
+		Nodes: 4, Geometry: geom, CacheBytes: 32, Assoc: 2,
+		Protocol: Berkeley, CheckCoherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, s, []trace.Access{
+		acc(1, trace.Read, 0),
+		acc(1, trace.Write, 0), // D at 1
+		acc(2, trace.Read, 0),  // 1:O 2:S
+		acc(1, trace.Read, 16),
+		acc(1, trace.Read, 32), // evicts the O line
+	})
+	if s.Counts().WriteBack != 1 {
+		t.Fatalf("counts = %+v", s.Counts())
+	}
+	// Node 2's clean copy remains readable with the latest value.
+	run(t, s, []trace.Access{acc(2, trace.Read, 0)})
+}
+
+// TestBerkeleyWriteToOwnedLine: the owner upgrading invalidates the
+// readers and returns to D.
+func TestBerkeleyWriteToOwnedLine(t *testing.T) {
+	s := newSys(t, Berkeley)
+	run(t, s, []trace.Access{
+		acc(1, trace.Read, 0),
+		acc(1, trace.Write, 0),
+		acc(2, trace.Read, 0),  // 1:O 2:S
+		acc(1, trace.Write, 0), // owner writes again
+	})
+	if state(s, 1) != int(StateD) || state(s, 2) != -1 {
+		t.Fatalf("states = %v", s.States(0))
+	}
+}
+
+// TestBerkeleySavesWriteBacksButNotMigrations: versus MESI, Berkeley saves
+// the memory-update traffic of read-after-write sharing, but a migratory
+// pattern still costs two transactions per migration — only the adaptive
+// protocol halves it.
+func TestBerkeleySavesWriteBacksButNotMigrations(t *testing.T) {
+	mkTrace := func() []trace.Access {
+		var accs []trace.Access
+		for round := 0; round < 50; round++ {
+			for n := memory.NodeID(0); n < 4; n++ {
+				accs = append(accs, acc(n, trace.Read, 0), acc(n, trace.Write, 0))
+			}
+		}
+		return accs
+	}
+	mesi := newSys(t, MESI)
+	brk := newSys(t, Berkeley)
+	adp := newSys(t, Adaptive)
+	run(t, mesi, mkTrace())
+	run(t, brk, mkTrace())
+	run(t, adp, mkTrace())
+	m, bk, a := mesi.Counts(), brk.Counts(), adp.Counts()
+	// Berkeley ~= MESI on migratory data (replicate + invalidate per turn).
+	diff := int64(bk.Total()) - int64(m.Total())
+	if diff > 8 || diff < -8 {
+		t.Fatalf("berkeley %d vs mesi %d on migratory data", bk.Total(), m.Total())
+	}
+	// The adaptive protocol halves both.
+	if a.Total()*2 > bk.Total()+16 {
+		t.Fatalf("adaptive %d not ~half of berkeley %d", a.Total(), bk.Total())
+	}
+}
+
+// TestBerkeleyProtocolPlumbing: naming and validation.
+func TestBerkeleyProtocolPlumbing(t *testing.T) {
+	if Berkeley.String() != "berkeley" || Berkeley.Adaptive() {
+		t.Fatalf("berkeley plumbing: %q %v", Berkeley, Berkeley.Adaptive())
+	}
+	if StateName(StateO) != "O" {
+		t.Fatalf("StateName(O) = %q", StateName(StateO))
+	}
+	cfg := Config{Nodes: 4, Geometry: geom, Protocol: Berkeley}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small formatting utilities the simulators and
+// CLIs share: aligned text tables and number formatting in the style of the
+// paper's tables (message counts in thousands, percentages to three
+// significant digits).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row. Rows may be ragged; missing cells render empty.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w with columns padded to their widest cell.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	grow := func(row []string) {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	grow(t.Header)
+	for _, r := range t.Rows {
+		grow(r)
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(row []string) error {
+		var b strings.Builder
+		for i, width := range widths {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, width))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := writeRow(t.Header); err != nil {
+			return err
+		}
+		var b strings.Builder
+		for i, width := range widths {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat("-", width))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Thousands renders a count in thousands, the unit of the paper's Tables 2
+// and 3 (e.g. 2091715 -> "2092").
+func Thousands(n int) string {
+	return fmt.Sprintf("%d", (n+500)/1000)
+}
+
+// Percent renders a percentage to three significant digits, matching the
+// paper's "% reduction" columns (9.01, 43.1, 5.90 ...).
+func Percent(p float64) string {
+	switch {
+	case p < 0:
+		return "-" + Percent(-p)
+	case p < 10:
+		return fmt.Sprintf("%.2f", p)
+	case p < 100:
+		return fmt.Sprintf("%.1f", p)
+	default:
+		return fmt.Sprintf("%.0f", p)
+	}
+}
+
+// KB renders a byte count as "4K", "256K", "1M" in the style of the
+// paper's cache-size rows.
+func KB(bytes int) string {
+	switch {
+	case bytes == 0:
+		return "inf"
+	case bytes >= 1<<20 && bytes%(1<<20) == 0:
+		return fmt.Sprintf("%dM", bytes>>20)
+	case bytes >= 1024 && bytes%1024 == 0:
+		return fmt.Sprintf("%dK", bytes>>10)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"app", "w/o data", "%"},
+	}
+	tab.Add("MP3D", "2092", "43.1")
+	tab.Add("Water", "3290")
+	got := tab.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "app ") || !strings.Contains(lines[1], "w/o data") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "MP3D") || !strings.Contains(lines[3], "43.1") {
+		t.Fatalf("row = %q", lines[3])
+	}
+	// Ragged row renders without trailing padding.
+	if strings.HasSuffix(lines[4], " ") {
+		t.Fatalf("trailing spaces in %q", lines[4])
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tab := &Table{}
+	tab.Add("a", "b")
+	got := tab.String()
+	if got != "a  b\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTableWideRow(t *testing.T) {
+	// A row wider than the header must not panic and must align.
+	tab := &Table{Header: []string{"x"}}
+	tab.Add("1", "2", "3")
+	got := tab.String()
+	if !strings.Contains(got, "1  2  3") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestThousands(t *testing.T) {
+	cases := map[int]string{
+		0:       "0",
+		499:     "0",
+		500:     "1",
+		2091715: "2092",
+		784000:  "784",
+	}
+	for n, want := range cases {
+		if got := Thousands(n); got != want {
+			t.Errorf("Thousands(%d) = %q; want %q", n, got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	cases := map[float64]string{
+		9.012:  "9.01",
+		5.9:    "5.90",
+		43.13:  "43.1",
+		15.96:  "16.0",
+		100.4:  "100",
+		0:      "0.00",
+		-0.42:  "-0.42",
+		-12.34: "-12.3",
+	}
+	for p, want := range cases {
+		if got := Percent(p); got != want {
+			t.Errorf("Percent(%v) = %q; want %q", p, got, want)
+		}
+	}
+}
+
+func TestKB(t *testing.T) {
+	cases := map[int]string{
+		0:       "inf",
+		4096:    "4K",
+		16384:   "16K",
+		1 << 20: "1M",
+		100:     "100B",
+	}
+	for b, want := range cases {
+		if got := KB(b); got != want {
+			t.Errorf("KB(%d) = %q; want %q", b, got, want)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package timing
+
+import (
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/cost"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+var geom = memory.MustGeometry(16, 4096)
+
+func TestLatencyClasses(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		name string
+		op   directory.OpInfo
+		want uint64
+	}{
+		{"hit", directory.OpInfo{Hit: true}, 1},
+		{"local clean read miss", directory.OpInfo{Op: cost.ReadMiss, HomeLocal: true}, p.MemCycles},
+		{"remote clean read miss", directory.OpInfo{Op: cost.ReadMiss}, p.MemCycles + 2*p.HopCycles},
+		{"remote dirty read miss", directory.OpInfo{Op: cost.ReadMiss, OwnerConsult: true},
+			p.MemCycles + 4*p.HopCycles + p.CacheCycles},
+		{"local upgrade no sharers", directory.OpInfo{Op: cost.WriteHit, HomeLocal: true}, p.MemCycles / 2},
+		{"remote upgrade with sharers", directory.OpInfo{Op: cost.WriteHit, Distant: 2},
+			p.MemCycles/2 + 4*p.HopCycles},
+		{"write miss with invalidations", directory.OpInfo{Op: cost.WriteMiss, Distant: 1},
+			p.MemCycles + 2*p.HopCycles + 2*p.HopCycles},
+	}
+	for _, c := range cases {
+		if got := p.Latency(c.op); got != c.want {
+			t.Errorf("%s: Latency = %d; want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLatencyMonotoneInSeverity(t *testing.T) {
+	p := DefaultParams()
+	hit := p.Latency(directory.OpInfo{Hit: true})
+	local := p.Latency(directory.OpInfo{Op: cost.ReadMiss, HomeLocal: true})
+	remote := p.Latency(directory.OpInfo{Op: cost.ReadMiss})
+	dirty := p.Latency(directory.OpInfo{Op: cost.ReadMiss, OwnerConsult: true})
+	if !(hit < local && local < remote && remote < dirty) {
+		t.Fatalf("latency ordering broken: %d %d %d %d", hit, local, remote, dirty)
+	}
+}
+
+func mkMigratoryTrace(turns int) []trace.Access {
+	var accs []trace.Access
+	for i := 0; i < turns; i++ {
+		n := memory.NodeID(1 + i%4)
+		accs = append(accs,
+			trace.Access{Node: n, Kind: trace.Read, Addr: 0},
+			trace.Access{Node: n, Kind: trace.Write, Addr: 0},
+		)
+	}
+	return accs
+}
+
+func TestRunBasicsAndDeterminism(t *testing.T) {
+	cfg := Config{Nodes: 16, Geometry: geom, Policy: core.Conventional}
+	r1, err := Run(mkMigratoryTrace(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Accesses != 200 {
+		t.Fatalf("accesses = %d", r1.Accesses)
+	}
+	if r1.Cycles == 0 || r1.StallCycles == 0 {
+		t.Fatalf("result = %+v", r1)
+	}
+	r2, err := Run(mkMigratoryTrace(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Msgs != r2.Msgs {
+		t.Fatal("execution-driven run not deterministic")
+	}
+}
+
+func TestAdaptiveFasterOnMigratoryData(t *testing.T) {
+	accs := mkMigratoryTrace(500)
+	conv, err := Run(accs, Config{Nodes: 16, Geometry: geom, Policy: core.Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := Run(accs, Config{Nodes: 16, Geometry: geom, Policy: core.Basic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.Cycles >= conv.Cycles {
+		t.Fatalf("adaptive %d cycles not below conventional %d", adp.Cycles, conv.Cycles)
+	}
+	red := Reduction(conv, adp)
+	if red < 10 {
+		t.Fatalf("reduction = %.1f; want >= 10 (write-hit upgrades eliminated)", red)
+	}
+	if adp.Msgs.Total() >= conv.Msgs.Total() {
+		t.Fatal("messages did not drop")
+	}
+}
+
+func TestPerNodeTimesAndMax(t *testing.T) {
+	// Node 3 does twice the work of node 5.
+	var accs []trace.Access
+	for i := 0; i < 100; i++ {
+		accs = append(accs, trace.Access{Node: 3, Kind: trace.Read, Addr: memory.Addr(i * 16)})
+		if i%2 == 0 {
+			accs = append(accs, trace.Access{Node: 5, Kind: trace.Read, Addr: memory.Addr(4096 + i*16)})
+		}
+	}
+	r, err := Run(accs, Config{Nodes: 16, Geometry: geom, Policy: core.Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerNode[3] <= r.PerNode[5] {
+		t.Fatalf("per-node times: %v", r.PerNode)
+	}
+	if r.Cycles != r.PerNode[3] {
+		t.Fatalf("Cycles %d != max per-node %d", r.Cycles, r.PerNode[3])
+	}
+	if r.PerNode[0] != 0 {
+		t.Fatal("idle node accumulated time")
+	}
+}
+
+func TestRunRejectsOutOfRangeNode(t *testing.T) {
+	_, err := Run([]trace.Access{{Node: 16, Kind: trace.Read, Addr: 0}},
+		Config{Nodes: 16, Geometry: geom, Policy: core.Basic})
+	if err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	_, err := Run(nil, Config{Nodes: 0, Geometry: geom, Policy: core.Basic})
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestStallFraction(t *testing.T) {
+	var r Result
+	if r.StallFraction() != 0 {
+		t.Fatal("empty result stall fraction")
+	}
+	r = Result{PerNode: []uint64{100, 100}, StallCycles: 50}
+	if got := r.StallFraction(); got != 0.25 {
+		t.Fatalf("StallFraction = %v", got)
+	}
+}
+
+func TestReductionZeroBase(t *testing.T) {
+	if Reduction(Result{}, Result{}) != 0 {
+		t.Fatal("zero base reduction")
+	}
+}
+
+// TestContentionModeling: overlapping requests to one hot home queue up;
+// requests spread across homes do not.
+func TestContentionModeling(t *testing.T) {
+	params := Params{HopCycles: 35, MemCycles: 30, CacheCycles: 15, ThinkCycles: 1, OccupancyCycles: 50}
+	// All 8 nodes hammer distinct blocks of page 0 (home node 0).
+	var hot []trace.Access
+	for i := 0; i < 40; i++ {
+		for n := memory.NodeID(0); n < 8; n++ {
+			hot = append(hot, trace.Access{Node: n, Kind: trace.Read, Addr: memory.Addr(int(n)*512 + i*16)})
+		}
+	}
+	// The same load spread over 8 pages (8 homes).
+	var spread []trace.Access
+	for _, a := range hot {
+		spread = append(spread, trace.Access{Node: a.Node, Kind: a.Kind, Addr: a.Addr + memory.Addr(int(a.Node)*4096)})
+	}
+	rHot, err := Run(hot, Config{Nodes: 8, Geometry: geom, Policy: core.Conventional, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSpread, err := Run(spread, Config{Nodes: 8, Geometry: geom, Policy: core.Conventional, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rHot.ContentionCycles == 0 {
+		t.Fatal("hot home produced no contention")
+	}
+	if rSpread.ContentionCycles*4 > rHot.ContentionCycles {
+		t.Fatalf("spread contention %d not well below hot %d", rSpread.ContentionCycles, rHot.ContentionCycles)
+	}
+	if rHot.Cycles <= rSpread.Cycles {
+		t.Fatal("contention did not slow execution")
+	}
+}
+
+// TestContentionDisabledWithZeroOccupancy: OccupancyCycles 0 turns the
+// model off.
+func TestContentionDisabledWithZeroOccupancy(t *testing.T) {
+	params := Params{HopCycles: 35, MemCycles: 30, CacheCycles: 15, ThinkCycles: 1}
+	r, err := Run(mkMigratoryTrace(100), Config{Nodes: 8, Geometry: geom, Policy: core.Conventional, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ContentionCycles != 0 {
+		t.Fatalf("contention = %d with occupancy 0", r.ContentionCycles)
+	}
+}
+
+// TestAdaptiveReducesContention: fewer transactions mean less queueing —
+// the §4.2 secondary-cache-contention observation.
+func TestAdaptiveReducesContention(t *testing.T) {
+	accs := mkMigratoryTrace(400)
+	conv, err := Run(accs, Config{Nodes: 16, Geometry: geom, Policy: core.Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := Run(accs, Config{Nodes: 16, Geometry: geom, Policy: core.Basic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.ContentionCycles > conv.ContentionCycles {
+		t.Fatalf("adaptive contention %d above conventional %d",
+			adp.ContentionCycles, conv.ContentionCycles)
+	}
+}
+
+// TestWriteBufferedLatency: with a write buffer, write operations retire in
+// one cycle while reads still stall.
+func TestWriteBufferedLatency(t *testing.T) {
+	p := DefaultParams()
+	p.WriteBuffered = true
+	if got := p.Latency(directory.OpInfo{Write: true, Op: cost.WriteHit, Distant: 3}); got != 1 {
+		t.Fatalf("buffered upgrade latency = %d", got)
+	}
+	if got := p.Latency(directory.OpInfo{Write: true, Op: cost.WriteMiss}); got != 1 {
+		t.Fatalf("buffered write miss latency = %d", got)
+	}
+	if got := p.Latency(directory.OpInfo{Op: cost.ReadMiss}); got <= 1 {
+		t.Fatalf("read miss latency = %d", got)
+	}
+}
+
+// TestWriteBufferShrinksAdaptiveTimeBenefit: the §4.2 savings come mostly
+// from write-hit latency; with writes buffered the adaptive protocol's
+// remaining advantage comes only from read-side effects.
+func TestWriteBufferShrinksAdaptiveTimeBenefit(t *testing.T) {
+	accs := mkMigratoryTrace(400)
+	mk := func(pol core.Policy, buffered bool) Result {
+		p := DefaultParams()
+		p.WriteBuffered = buffered
+		r, err := Run(accs, Config{Nodes: 16, Geometry: geom, Policy: pol, Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	blocking := Reduction(mk(core.Conventional, false), mk(core.Basic, false))
+	buffered := Reduction(mk(core.Conventional, true), mk(core.Basic, true))
+	if buffered >= blocking {
+		t.Fatalf("buffered reduction %.1f not below blocking %.1f", buffered, blocking)
+	}
+}
+
+func TestThinkTimeScalesExecution(t *testing.T) {
+	accs := mkMigratoryTrace(200)
+	fast, err := Run(accs, Config{
+		Nodes: 16, Geometry: geom, Policy: core.Conventional,
+		Params: Params{HopCycles: 35, MemCycles: 30, CacheCycles: 15, ThinkCycles: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(accs, Config{
+		Nodes: 16, Geometry: geom, Policy: core.Conventional,
+		Params: Params{HopCycles: 35, MemCycles: 30, CacheCycles: 15, ThinkCycles: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles <= fast.Cycles {
+		t.Fatal("think time had no effect")
+	}
+	if slow.StallFraction() >= fast.StallFraction() {
+		t.Fatal("compute-bound run should have lower stall fraction")
+	}
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+
+	"migratory/internal/memory"
+)
+
+func TestClassifyBlocks(t *testing.T) {
+	accs := []Access{
+		// Block 0: private.
+		{Node: 0, Kind: Write, Addr: block(0)},
+		{Node: 0, Kind: Read, Addr: block(0)},
+		// Block 1: migratory.
+		{Node: 0, Kind: Write, Addr: block(1)},
+		{Node: 1, Kind: Read, Addr: block(1)},
+		{Node: 1, Kind: Write, Addr: block(1)},
+		{Node: 2, Kind: Read, Addr: block(1)},
+		{Node: 2, Kind: Write, Addr: block(1)},
+		// Block 2: read-shared.
+		{Node: 0, Kind: Write, Addr: block(2)},
+		{Node: 1, Kind: Read, Addr: block(2)},
+		{Node: 2, Kind: Read, Addr: block(2)},
+		// Block 3: other (producer/consumer).
+		{Node: 0, Kind: Write, Addr: block(3)},
+		{Node: 1, Kind: Read, Addr: block(3)},
+		{Node: 0, Kind: Write, Addr: block(3)},
+		{Node: 1, Kind: Read, Addr: block(3)},
+	}
+	got := ClassifyBlocks(accs, g16)
+	want := map[memory.BlockID]BlockPattern{
+		0: PatternPrivate,
+		1: PatternMigratory,
+		2: PatternReadShared,
+		3: PatternOther,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("classified %d blocks; want %d", len(got), len(want))
+	}
+	for b, p := range want {
+		if got[b] != p {
+			t.Errorf("block %d = %v; want %v", b, got[b], p)
+		}
+	}
+}
+
+// TestClassifyBlocksAgreesWithAnalyze: the per-block map and the aggregate
+// census must be two views of the same classification.
+func TestClassifyBlocksAgreesWithAnalyze(t *testing.T) {
+	var accs []Access
+	// A mix of everything across 40 blocks.
+	for i := 0; i < 40; i++ {
+		base := block(i)
+		switch i % 4 {
+		case 0:
+			accs = append(accs, Access{Node: 0, Kind: Write, Addr: base})
+		case 1:
+			for n := memory.NodeID(0); n < 3; n++ {
+				accs = append(accs,
+					Access{Node: n, Kind: Read, Addr: base},
+					Access{Node: n, Kind: Write, Addr: base})
+			}
+		case 2:
+			accs = append(accs, Access{Node: 0, Kind: Write, Addr: base})
+			for n := memory.NodeID(1); n < 4; n++ {
+				accs = append(accs, Access{Node: n, Kind: Read, Addr: base})
+			}
+		case 3:
+			for rep := 0; rep < 2; rep++ {
+				accs = append(accs,
+					Access{Node: 0, Kind: Write, Addr: base},
+					Access{Node: 1, Kind: Read, Addr: base})
+			}
+		}
+	}
+	st := Analyze(accs, g16)
+	counts := map[BlockPattern]int{}
+	for _, p := range ClassifyBlocks(accs, g16) {
+		counts[p]++
+	}
+	if counts[PatternPrivate] != st.PrivateBlocks ||
+		counts[PatternMigratory] != st.MigratoryBlocks ||
+		counts[PatternReadShared] != st.ReadSharedBlocks ||
+		counts[PatternOther] != st.OtherBlocks {
+		t.Fatalf("census mismatch: map %v vs stats %+v", counts, st)
+	}
+}
+
+func TestClassifyBlocksEmpty(t *testing.T) {
+	if got := ClassifyBlocks(nil, g16); len(got) != 0 {
+		t.Fatalf("empty trace classified %d blocks", len(got))
+	}
+}

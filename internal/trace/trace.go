@@ -1,0 +1,180 @@
+// Package trace defines the shared-memory access traces that drive every
+// simulator in this repository, together with a compact binary codec and
+// summary statistics.
+//
+// The paper drove its simulators with Tango-generated traces of five SPLASH
+// programs; those traces "include accesses to ordinary shared data, but
+// exclude accesses to synchronization variables, private data, and
+// instructions" (§3.2). Our traces have the same shape: a sequence of
+// (node, read|write, address) records over the shared address space, in a
+// single global interleaving.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"migratory/internal/memory"
+)
+
+// Kind distinguishes read accesses from write accesses.
+type Kind uint8
+
+const (
+	// Read is a load from shared memory.
+	Read Kind = iota
+	// Write is a store to shared memory.
+	Write
+)
+
+// String returns "read" or "write".
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Access is one shared-memory reference by one node.
+type Access struct {
+	Node memory.NodeID
+	Kind Kind
+	Addr memory.Addr
+}
+
+// String renders an access for diagnostics, e.g. "P3 write 0x1040".
+func (a Access) String() string {
+	return fmt.Sprintf("P%d %s %#x", a.Node, a.Kind, a.Addr)
+}
+
+// Reader yields successive accesses. Next returns io.EOF after the final
+// access.
+type Reader interface {
+	Next() (Access, error)
+}
+
+// Slice adapts an in-memory access sequence to the Reader interface.
+type Slice struct {
+	accesses []Access
+	pos      int
+}
+
+// NewSlice returns a Reader over the given accesses. The slice is not
+// copied; the caller must not mutate it while reading.
+func NewSlice(accesses []Access) *Slice {
+	return &Slice{accesses: accesses}
+}
+
+// Next implements Reader.
+func (s *Slice) Next() (Access, error) {
+	if s.pos >= len(s.accesses) {
+		return Access{}, io.EOF
+	}
+	a := s.accesses[s.pos]
+	s.pos++
+	return a, nil
+}
+
+// Reset rewinds the reader to the first access. Trace-driven simulation is
+// two-pass (page placement, then protocol simulation), so rewinding is part
+// of the normal workflow.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Len returns the total number of accesses.
+func (s *Slice) Len() int { return len(s.accesses) }
+
+// ReadAll drains a Reader into a slice.
+func ReadAll(r Reader) ([]Access, error) {
+	var out []Access
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+}
+
+// Binary trace format:
+//
+//	magic   [4]byte  "MTR1"
+//	count   uint64   number of records
+//	records          count * (node uint8, kind uint8, addr uint64), little endian
+//
+// The format is deliberately trivial: traces are an interchange artifact
+// between cmd/tracegen and the simulators, not an archival format.
+
+var magic = [4]byte{'M', 'T', 'R', '1'}
+
+const recordSize = 1 + 1 + 8
+
+// ErrBadMagic is returned by ReadFrom when the input does not begin with
+// the trace file magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// WriteTo encodes accesses to w in the binary trace format.
+func WriteTo(w io.Writer, accesses []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(accesses)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, a := range accesses {
+		rec[0] = byte(a.Node)
+		rec[1] = byte(a.Kind)
+		binary.LittleEndian.PutUint64(rec[2:], uint64(a.Addr))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom decodes a binary trace written by WriteTo.
+func ReadFrom(r io.Reader) ([]Access, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const sanityMax = 1 << 32
+	if count > sanityMax {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	out := make([]Access, 0, count)
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, count, err)
+		}
+		out = append(out, Access{
+			Node: memory.NodeID(rec[0]),
+			Kind: Kind(rec[1]),
+			Addr: memory.Addr(binary.LittleEndian.Uint64(rec[2:])),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package workload
+
+import "fmt"
+
+// The five benchmark profiles. Shared-memory footprints follow §3.1 of the
+// paper (Cholesky 1476 KB, LocusRoute 1232 KB, MP3D 552 KB, Pthor 2676 KB,
+// Water 200 KB); the idiom mixes are our modeling of each program's
+// published sharing behaviour (see DESIGN.md §4):
+//
+//   - MP3D: particle and space-cell records are read-modified-written by
+//     whichever processor moves the particle — intensely migratory, with
+//     records small and densely packed enough that blocks of 64 bytes and
+//     up exhibit false sharing (the paper observes MP3D's invalidations
+//     rising from 64- to 128-byte blocks).
+//   - Water: per-molecule force records updated under lock by successive
+//     processors in the pairwise force computation — migratory with larger
+//     records and a small read-shared portion.
+//   - Cholesky: panels being factored migrate between workers via the task
+//     queue; finished panels are read by consumers; supernode workspaces
+//     are node-affine.
+//   - LocusRoute: dominated by the read-shared cost array, which routers
+//     also update in place as they commit wires (reads by many, occasional
+//     writes) — little for a migratory optimization to win.
+//   - Pthor: logic-element records migrate; event queues are
+//     producer/consumer; the netlist is read-shared — a mixed profile with
+//     a modest migratory component.
+func builtins() []Profile {
+	return []Profile{
+		{
+			Name:          "Cholesky",
+			DefaultLength: 600_000,
+			Segments: []Segment{
+				{Name: "panels", Kind: Migratory, Objects: 1600, ObjWords: 64, StrideBytes: 256, Weight: 0.40, Revisits: 30, WindowObjects: 32},
+				{Name: "workspaces", Kind: MostlyPrivate, Objects: 6000, ObjWords: 32, StrideBytes: 128, Weight: 0.35},
+				{Name: "structure", Kind: ReadShared, Objects: 5216, ObjWords: 16, StrideBytes: 64, Weight: 0.20, Revisits: 60, WindowObjects: 192, EpisodeObjects: 48, SweepFraction: 0.25},
+			},
+		},
+		{
+			Name:          "Locus Route",
+			DefaultLength: 500_000,
+			Segments: []Segment{
+				{Name: "cost array", Kind: ReadShared, Objects: 14000, ObjWords: 8, StrideBytes: 64, Weight: 0.50, WriteEveryN: 12, Revisits: 40, WindowObjects: 192, EpisodeObjects: 24, SweepFraction: 0.5},
+				{Name: "route records", Kind: Migratory, Objects: 3200, ObjWords: 8, StrideBytes: 64, Weight: 0.25, Revisits: 5, WindowObjects: 64},
+				{Name: "netlist", Kind: ReadShared, Objects: 2512, ObjWords: 16, StrideBytes: 64, Weight: 0.25, Revisits: 24, WindowObjects: 256},
+			},
+		},
+		{
+			Name:          "MP3D",
+			DefaultLength: 400_000,
+			Segments: []Segment{
+				{Name: "particles", Kind: Migratory, Objects: 7000, ObjWords: 9, StrideBytes: 64, Weight: 0.80, Revisits: 40, WindowObjects: 160},
+				{Name: "space cells", Kind: Migratory, Objects: 4096, ObjWords: 4, StrideBytes: 16, Weight: 0.15, Revisits: 40, WindowObjects: 64},
+				{Name: "constants", Kind: ReadShared, Objects: 600, ObjWords: 16, StrideBytes: 64, Weight: 0.08, Revisits: 60, WindowObjects: 128, EpisodeObjects: 32, SweepFraction: 0.25},
+			},
+		},
+		{
+			Name:          "Pthor",
+			DefaultLength: 600_000,
+			Segments: []Segment{
+				{Name: "elements", Kind: Migratory, Objects: 12800, ObjWords: 12, StrideBytes: 64, Weight: 0.18, Revisits: 16, WindowObjects: 128},
+				{Name: "event queues", Kind: ProducerConsumer, Objects: 12800, ObjWords: 8, StrideBytes: 32, Weight: 0.30, Revisits: 8, WindowObjects: 512},
+				{Name: "netlist", Kind: ReadShared, Objects: 23616, ObjWords: 16, StrideBytes: 64, Weight: 0.40, Revisits: 60, WindowObjects: 192, EpisodeObjects: 48, SweepFraction: 0.25},
+			},
+		},
+		{
+			Name:          "Water",
+			DefaultLength: 500_000,
+			Segments: []Segment{
+				{Name: "molecules", Kind: Migratory, Objects: 900, ObjWords: 48, StrideBytes: 192, Weight: 0.75, Revisits: 80, WindowObjects: 96},
+				{Name: "globals", Kind: ReadShared, Objects: 400, ObjWords: 16, StrideBytes: 64, Weight: 0.25, Revisits: 60, WindowObjects: 200, EpisodeObjects: 48, SweepFraction: 0.25},
+			},
+		},
+	}
+}
+
+// Profiles returns the five SPLASH-like application profiles in the order
+// the paper's tables list them.
+func Profiles() []Profile { return builtins() }
+
+// ProfileByName looks a profile up case-sensitively ("MP3D", "Water", ...).
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range builtins() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+// Scale returns a copy of the profile with every segment's object count
+// (and the default trace length) multiplied by factor, modeling larger or
+// smaller problem inputs than the paper's §3.1 standard ones. Working-set
+// windows are left unscaled: a bigger input means more data, not more
+// concurrent activity, which is how real inputs grow. factor must be
+// positive; object counts are clamped to at least one.
+func Scale(p Profile, factor float64) (Profile, error) {
+	if factor <= 0 {
+		return Profile{}, fmt.Errorf("workload: scale factor %v must be positive", factor)
+	}
+	out := p
+	out.Name = fmt.Sprintf("%s (x%g)", p.Name, factor)
+	out.DefaultLength = int(float64(p.DefaultLength) * factor)
+	out.Segments = make([]Segment, len(p.Segments))
+	for i, s := range p.Segments {
+		s.Objects = int(float64(s.Objects) * factor)
+		if s.Objects < 1 {
+			s.Objects = 1
+		}
+		out.Segments[i] = s
+	}
+	if err := out.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+func TestWindowSpanDefaults(t *testing.T) {
+	st := &segState{seg: Segment{Objects: 1200, Revisits: 10}}
+	start, size := st.windowSpan()
+	if start != 0 || size != 100 {
+		t.Fatalf("span = %d,%d; want 0,100 (Objects/12)", start, size)
+	}
+	// Minimum window of 16.
+	st = &segState{seg: Segment{Objects: 60, Revisits: 10}}
+	if _, size := st.windowSpan(); size != 16 {
+		t.Fatalf("size = %d; want 16", size)
+	}
+	// Window clamped to the segment.
+	st = &segState{seg: Segment{Objects: 10, Revisits: 10}}
+	if _, size := st.windowSpan(); size != 10 {
+		t.Fatalf("size = %d; want 10", size)
+	}
+	// Explicit window.
+	st = &segState{seg: Segment{Objects: 1000, Revisits: 10, WindowObjects: 64}}
+	if _, size := st.windowSpan(); size != 64 {
+		t.Fatalf("size = %d; want 64", size)
+	}
+}
+
+func TestWindowAdvancesWithEpisodes(t *testing.T) {
+	st := &segState{seg: Segment{Objects: 100, Revisits: 4, WindowObjects: 16}}
+	st.episodeCount = 40 // 40/4 = 10 objects in
+	start, _ := st.windowSpan()
+	if start != 10 {
+		t.Fatalf("start = %d; want 10", start)
+	}
+	st.episodeCount = 4 * 100 // a full wrap
+	if start, _ := st.windowSpan(); start != 0 {
+		t.Fatalf("wrapped start = %d; want 0", start)
+	}
+}
+
+// TestWindowConcentratesVisits: with a window, early trace accesses stay
+// within a small object range; without one they scatter.
+func TestWindowConcentratesVisits(t *testing.T) {
+	base := Segment{Name: "m", Kind: Migratory, Objects: 4096, ObjWords: 4, Weight: 1}
+	windowed := base
+	windowed.Revisits = 10
+	windowed.WindowObjects = 32
+
+	countEarlyObjects := func(seg Segment) int {
+		p := Profile{Name: "t", Segments: []Segment{seg}}
+		accs, err := Generate(p, 8, 5, 4_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs := map[int]bool{}
+		for _, a := range accs {
+			objs[int(a.Addr/16)] = true
+		}
+		return len(objs)
+	}
+	scattered := countEarlyObjects(base)
+	focused := countEarlyObjects(windowed)
+	if focused*4 > scattered {
+		t.Fatalf("window did not concentrate: %d focused vs %d scattered objects", focused, scattered)
+	}
+}
+
+// TestChunkedEpisodesReRead: a node's chunked read-shared episodes cycle
+// through the window, so the same blocks are re-read (cache-hit fodder at
+// large caches, reload traffic at small ones).
+func TestChunkedEpisodesReRead(t *testing.T) {
+	p := Profile{
+		Name: "chunked",
+		Segments: []Segment{{
+			Name: "tbl", Kind: ReadShared, Objects: 256, ObjWords: 4,
+			Weight: 1, Revisits: 1000, WindowObjects: 32, EpisodeObjects: 8,
+		}},
+	}
+	accs, err := Generate(p, 4, 9, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count per-node repeat reads of the same address.
+	type key struct {
+		n memory.NodeID
+		a memory.Addr
+	}
+	seen := map[key]int{}
+	repeats := 0
+	for _, a := range accs {
+		k := key{a.Node, a.Addr}
+		if seen[k] > 0 {
+			repeats++
+		}
+		seen[k]++
+	}
+	if repeats*2 < len(accs) {
+		t.Fatalf("only %d/%d accesses were per-node re-reads", repeats, len(accs))
+	}
+}
+
+// TestChunkedEpisodeClampsToWindow: EpisodeObjects larger than the window
+// sweeps the whole window, not beyond.
+func TestChunkedEpisodeClampsToWindow(t *testing.T) {
+	p := Profile{
+		Name: "clamp",
+		Segments: []Segment{{
+			Name: "tbl", Kind: ReadShared, Objects: 64, ObjWords: 2,
+			Weight: 1, Revisits: 1000, WindowObjects: 16, EpisodeObjects: 99,
+		}},
+	}
+	accs, err := Generate(p, 4, 13, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := map[int]bool{}
+	for _, a := range accs {
+		objs[int(a.Addr/8)] = true
+	}
+	// The window stays near the start for a 2k trace with Revisits 1000.
+	if len(objs) > 24 {
+		t.Fatalf("clamped chunk touched %d objects", len(objs))
+	}
+}
+
+// TestChunkedWritesStillHappen: WriteEveryN interacts with chunking.
+func TestChunkedWritesStillHappen(t *testing.T) {
+	p := Profile{
+		Name: "rw",
+		Segments: []Segment{{
+			Name: "tbl", Kind: ReadShared, Objects: 128, ObjWords: 4,
+			Weight: 1, Revisits: 100, WindowObjects: 32, EpisodeObjects: 8,
+			WriteEveryN: 3,
+		}},
+	}
+	accs, err := Generate(p, 4, 17, 6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(accs, memory.MustGeometry(16, 4096))
+	if st.Writes == 0 {
+		t.Fatal("no writes generated")
+	}
+	if st.Writes*4 > st.Accesses {
+		t.Fatalf("too many writes: %d of %d", st.Writes, st.Accesses)
+	}
+}
