@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerates every experiment benchmark once (with allocation stats); the
+# parallel-sweep benchmarks also refresh results/bench_sweep.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
+
+ci: build vet test race

@@ -245,7 +245,10 @@ func ScaleWorkload(p WorkloadProfile, factor float64) (WorkloadProfile, error) {
 
 // Experiment drivers (§4).
 type (
-	// ExperimentOptions configures a sweep.
+	// ExperimentOptions configures a sweep. Its Parallelism field bounds
+	// the worker pool the sweep drivers fan independent simulation cells
+	// out on (0 = all CPUs, 1 = sequential); results are bit-identical
+	// regardless of the setting.
 	ExperimentOptions = sim.Options
 	// Sweep holds a directory-protocol sweep (Tables 2 and 3).
 	Sweep = sim.Sweep

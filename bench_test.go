@@ -11,7 +11,9 @@ package migratory
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"migratory/internal/core"
 	"migratory/internal/cost"
@@ -20,6 +22,7 @@ import (
 	"migratory/internal/placement"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
+	"migratory/internal/stats"
 	"migratory/internal/timing"
 	"migratory/internal/trace"
 	"migratory/internal/workload"
@@ -758,4 +761,74 @@ func BenchmarkAblationDropNotify(b *testing.B) {
 			b.ReportMetric(red, "%red")
 		})
 	}
+}
+
+// benchParallelOpts shortens the sweep so the sequential baseline run inside
+// the parallel benchmarks stays cheap.
+func benchParallelOpts(parallelism int, apps ...string) sim.Options {
+	o := benchOpts(apps...)
+	o.Length = 40_000
+	o.Parallelism = parallelism
+	return o
+}
+
+// reportSpeedup records the parallel benchmark's wall-clock advantage over a
+// one-worker run of the same sweep, both to the benchmark output and to the
+// machine-readable baseline at results/bench_sweep.json. On a single-CPU
+// machine the speedup hovers around 1; on >= 4 cores the embarrassingly
+// parallel sweeps should exceed 2x.
+func reportSpeedup(b *testing.B, name string, seq time.Duration) {
+	b.Helper()
+	par := b.Elapsed() / time.Duration(b.N)
+	speedup := seq.Seconds() / par.Seconds()
+	b.ReportMetric(speedup, "speedup-vs-seq")
+	err := stats.UpdateBenchJSON("results/bench_sweep.json", name, map[string]float64{
+		"sequential_ns": float64(seq.Nanoseconds()),
+		"parallel_ns":   float64(par.Nanoseconds()),
+		"speedup":       speedup,
+		"gomaxprocs":    float64(runtime.GOMAXPROCS(0)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTable2Parallel measures the parallel sweep engine on the Table 2
+// directory sweep: a full (app x cache x policy) fan-out with
+// Parallelism=GOMAXPROCS, against a one-worker baseline of the identical
+// configuration.
+func BenchmarkTable2Parallel(b *testing.B) {
+	seqStart := time.Now()
+	if _, err := sim.Table2(benchParallelOpts(1, "Water", "MP3D", "Cholesky")); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Table2(benchParallelOpts(0, "Water", "MP3D", "Cholesky")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSpeedup(b, "BenchmarkTable2Parallel", seq)
+}
+
+// BenchmarkRunBusParallel measures the parallel engine on the bus-based
+// comparison of §4.3 ((app x cache x protocol) cells).
+func BenchmarkRunBusParallel(b *testing.B) {
+	seqStart := time.Now()
+	if _, err := sim.RunBus(benchParallelOpts(1, "Water", "MP3D", "Cholesky"), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(seqStart)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunBus(benchParallelOpts(0, "Water", "MP3D", "Cholesky"), nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSpeedup(b, "BenchmarkRunBusParallel", seq)
 }

@@ -9,6 +9,7 @@
 //	bussim                       # all five apps at 64 KB and 1 MB caches
 //	bussim -apps Water,MP3D -caches 65536
 //	bussim -symmetry             # include the Sequent Symmetry baseline (§5)
+//	bussim -parallelism 8        # cap the sweep worker pool (0 = all CPUs)
 package main
 
 import (
@@ -31,10 +32,11 @@ func main() {
 		nodes    = flag.Int("nodes", 16, "processor count")
 		symmetry = flag.Bool("symmetry", false, "include the non-adaptive Symmetry migrate-on-read baseline")
 		format   = flag.String("format", "table", "output format: table, csv, or json")
+		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length}
+	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}

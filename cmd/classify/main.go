@@ -10,6 +10,7 @@
 //	classify                 # all five applications
 //	classify -apps MP3D      # one application
 //	classify -cache 16384    # score under replacement pressure
+//	classify -parallelism 8  # cap the sweep worker pool (0 = all CPUs)
 package main
 
 import (
@@ -29,15 +30,16 @@ import (
 
 func main() {
 	var (
-		apps   = flag.String("apps", "", "comma-separated app subset (default: all five)")
-		length = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed   = flag.Int64("seed", 1993, "workload generator seed")
-		nodes  = flag.Int("nodes", 16, "processor count")
-		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
+		apps     = flag.String("apps", "", "comma-separated app subset (default: all five)")
+		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
+		seed     = flag.Int64("seed", 1993, "workload generator seed")
+		nodes    = flag.Int("nodes", 16, "processor count")
+		cache    = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
+		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length}
+	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	} else {

@@ -8,6 +8,7 @@
 //	exectime                      # Cholesky, MP3D, Water with basic
 //	exectime -policy aggressive   # a different adaptive variant
 //	exectime -apps MP3D -cache 262144
+//	exectime -parallelism 8       # cap the sweep worker pool (0 = all CPUs)
 package main
 
 import (
@@ -22,12 +23,13 @@ import (
 
 func main() {
 	var (
-		apps   = flag.String("apps", strings.Join(sim.ExecApps, ","), "comma-separated apps")
-		policy = flag.String("policy", "basic", "adaptive policy to compare against conventional")
-		length = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed   = flag.Int64("seed", 1993, "workload generator seed")
-		nodes  = flag.Int("nodes", 16, "processor count")
-		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = 64 KB)")
+		apps     = flag.String("apps", strings.Join(sim.ExecApps, ","), "comma-separated apps")
+		policy   = flag.String("policy", "basic", "adaptive policy to compare against conventional")
+		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
+		seed     = flag.Int64("seed", 1993, "workload generator seed")
+		nodes    = flag.Int("nodes", 16, "processor count")
+		cache    = flag.Int("cache", 0, "per-node cache bytes (0 = 64 KB)")
+		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -36,7 +38,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "exectime: %v\n", err)
 		os.Exit(2)
 	}
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Apps: strings.Split(*apps, ",")}
+	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Apps: strings.Split(*apps, ","), Parallelism: *parallel}
 	rows, err := sim.ExecutionTime(opts, pol, *cache)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exectime: %v\n", err)

@@ -9,6 +9,7 @@
 //	migsim -table 3 -apps MP3D      # Table 3, one app
 //	migsim -table 2 -ratios         # add the 2:1 / 4:1 cost-ratio analysis
 //	migsim -length 100000 -seed 7   # shorter traces, different seed
+//	migsim -parallelism 8           # cap the sweep worker pool (0 = all CPUs)
 package main
 
 import (
@@ -23,18 +24,19 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
-		apps    = flag.String("apps", "", "comma-separated app subset (default: all five)")
-		length  = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed    = flag.Int64("seed", 1993, "workload generator seed")
-		nodes   = flag.Int("nodes", 16, "processor count")
-		ratios  = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
-		format  = flag.String("format", "table", "output format: table, csv, or json")
-		traceIn = flag.String("trace", "", "run the sweep over a binary trace file (from tracegen) instead of the built-in workloads")
+		table    = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
+		apps     = flag.String("apps", "", "comma-separated app subset (default: all five)")
+		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
+		seed     = flag.Int64("seed", 1993, "workload generator seed")
+		nodes    = flag.Int("nodes", 16, "processor count")
+		ratios   = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
+		format   = flag.String("format", "table", "output format: table, csv, or json")
+		traceIn  = flag.String("trace", "", "run the sweep over a binary trace file (from tracegen) instead of the built-in workloads")
+		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length}
+	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")
 	}

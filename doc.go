@@ -21,7 +21,11 @@
 //     Tango traces of Cholesky, LocusRoute, MP3D, Pthor, and Water;
 //   - a DASH-like timing model reproducing the §4.2 execution-time study;
 //   - sweep drivers that regenerate the paper's Table 2, Table 3, cost-ratio
-//     analysis, and bus results.
+//     analysis, and bus results, fanning independent simulation cells out
+//     across a worker pool (ExperimentOptions.Parallelism; 0 = all CPUs).
+//     Parallel runs are bit-identical to sequential ones: every cell
+//     simulates a private system over a shared read-only trace and results
+//     are assembled in paper order.
 //
 // The quickest way in:
 //

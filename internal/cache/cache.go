@@ -82,7 +82,7 @@ type Cache struct {
 	cfg      Config
 	sets     []set // nil for infinite caches
 	setMask  memory.BlockID
-	infinite map[memory.BlockID]*Line // used when cfg.SizeBytes == 0
+	infinite *memory.BlockMap[Line] // used when cfg.SizeBytes == 0
 	clock    uint64
 
 	// Stats.
@@ -109,13 +109,16 @@ func New(cfg Config) *Cache {
 	}
 	c := &Cache{cfg: cfg}
 	if cfg.SizeBytes == 0 {
-		c.infinite = make(map[memory.BlockID]*Line)
+		c.infinite = new(memory.BlockMap[Line])
 		return c
 	}
 	nsets := cfg.SizeBytes / cfg.BlockSize / cfg.Assoc
 	c.sets = make([]set, nsets)
+	// One backing array for every way keeps construction at two
+	// allocations regardless of set count; sweeps build hundreds of caches.
+	ways := make([]way, nsets*cfg.Assoc)
 	for i := range c.sets {
-		c.sets[i].ways = make([]way, cfg.Assoc)
+		c.sets[i].ways = ways[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	c.setMask = memory.BlockID(nsets - 1)
 	return c
@@ -135,7 +138,7 @@ func (c *Cache) setFor(b memory.BlockID) *set { return &c.sets[b&c.setMask] }
 func (c *Cache) Lookup(b memory.BlockID) *Line {
 	c.clock++
 	if c.infinite != nil {
-		if l, ok := c.infinite[b]; ok {
+		if l := c.infinite.Get(b); l != nil {
 			c.hits++
 			return l
 		}
@@ -160,7 +163,7 @@ func (c *Cache) Lookup(b memory.BlockID) *Line {
 // requests (a remote read miss probing this cache is not a local access).
 func (c *Cache) Peek(b memory.BlockID) *Line {
 	if c.infinite != nil {
-		return c.infinite[b]
+		return c.infinite.Get(b)
 	}
 	s := c.setFor(b)
 	for i := range s.ways {
@@ -179,11 +182,11 @@ func (c *Cache) Peek(b memory.BlockID) *Line {
 func (c *Cache) Insert(b memory.BlockID, st State) (*Line, *Line) {
 	c.clock++
 	if c.infinite != nil {
-		if _, ok := c.infinite[b]; ok {
+		l, created := c.infinite.GetOrCreate(b)
+		if !created {
 			panic(fmt.Sprintf("cache: Insert of present block %d", b))
 		}
-		l := &Line{Block: b, State: st}
-		c.infinite[b] = l
+		*l = Line{Block: b, State: st}
 		return l, nil
 	}
 	s := c.setFor(b)
@@ -223,11 +226,7 @@ func (c *Cache) Insert(b memory.BlockID, st State) (*Line, *Line) {
 // eviction.
 func (c *Cache) Invalidate(b memory.BlockID) bool {
 	if c.infinite != nil {
-		if _, ok := c.infinite[b]; !ok {
-			return false
-		}
-		delete(c.infinite, b)
-		return true
+		return c.infinite.Delete(b)
 	}
 	s := c.setFor(b)
 	for i := range s.ways {
@@ -243,7 +242,7 @@ func (c *Cache) Invalidate(b memory.BlockID) bool {
 // Len returns the number of valid lines.
 func (c *Cache) Len() int {
 	if c.infinite != nil {
-		return len(c.infinite)
+		return c.infinite.Len()
 	}
 	n := 0
 	for i := range c.sets {
@@ -260,9 +259,9 @@ func (c *Cache) Len() int {
 func (c *Cache) Blocks() []memory.BlockID {
 	out := make([]memory.BlockID, 0, c.Len())
 	if c.infinite != nil {
-		for b := range c.infinite {
+		c.infinite.ForEach(func(b memory.BlockID, _ *Line) {
 			out = append(out, b)
-		}
+		})
 		return out
 	}
 	for i := range c.sets {

@@ -171,22 +171,27 @@ type OpInfo struct {
 }
 
 // System is one simulated machine running one protocol over one trace.
+// Entries and versions live in chunked BlockMap arenas rather than Go maps:
+// block lookups are the per-access hot path of every sweep, and the trace
+// generators produce dense block identifiers that index straight into a
+// slice chunk (sparse external traces fall back to a map transparently).
 type System struct {
 	cfg     Config
 	caches  []*cache.Cache
-	entries map[memory.BlockID]*entry
+	entries memory.BlockMap[entry]
 	msgs    cost.Counter
 	n       Counters
 	// versions holds the globally latest write version of each block, for
-	// coherence checking.
-	versions map[memory.BlockID]uint64
+	// coherence checking; nil unless CheckCoherence is set.
+	versions *memory.BlockMap[uint64]
 	lastOp   OpInfo
 	// invalHist counts ownership-acquiring operations by how many remote
 	// copies they invalidated (the cache-invalidation-pattern analysis of
 	// Weber & Gupta, the paper's reference [23], which motivates the whole
 	// migratory-detection idea: most invalidating writes hit exactly one
-	// remote copy).
-	invalHist map[int]uint64
+	// remote copy). Indexed by invalidation-set size, which is at most the
+	// node count.
+	invalHist []uint64
 }
 
 // InvalidationHistogram returns, for each invalidation-set size, how many
@@ -196,14 +201,16 @@ type System struct {
 func (s *System) InvalidationHistogram() map[int]uint64 {
 	out := make(map[int]uint64, len(s.invalHist))
 	for k, v := range s.invalHist {
-		out[k] = v
+		if v != 0 {
+			out[k] = v
+		}
 	}
 	return out
 }
 
 func (s *System) noteInvalidations(n int) {
-	if s.invalHist == nil {
-		s.invalHist = make(map[int]uint64)
+	for len(s.invalHist) <= n {
+		s.invalHist = append(s.invalHist, 0)
 	}
 	s.invalHist[n]++
 }
@@ -218,9 +225,9 @@ func New(cfg Config) (*System, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &System{
-		cfg:     cfg,
-		caches:  make([]*cache.Cache, cfg.Nodes),
-		entries: make(map[memory.BlockID]*entry),
+		cfg:       cfg,
+		caches:    make([]*cache.Cache, cfg.Nodes),
+		invalHist: make([]uint64, cfg.Nodes+1),
 	}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
@@ -230,7 +237,7 @@ func New(cfg Config) (*System, error) {
 		})
 	}
 	if cfg.CheckCoherence {
-		s.versions = make(map[memory.BlockID]uint64)
+		s.versions = new(memory.BlockMap[uint64])
 	}
 	return s, nil
 }
@@ -239,10 +246,10 @@ func New(cfg Config) (*System, error) {
 func (s *System) Config() Config { return s.cfg }
 
 func (s *System) entryFor(b memory.BlockID) *entry {
-	e, ok := s.entries[b]
-	if !ok {
-		e = &entry{cls: core.NewClassifier(s.cfg.Policy), owner: memory.NoNode}
-		s.entries[b] = e
+	e, created := s.entries.GetOrCreate(b)
+	if created {
+		e.cls = core.NewClassifier(s.cfg.Policy)
+		e.owner = memory.NoNode
 	}
 	return e
 }
@@ -387,10 +394,10 @@ func (s *System) readWithOwnership(n memory.NodeID, b memory.BlockID) {
 	s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
 	s.lastOp = OpInfo{Op: cost.WriteMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant, Migrated: true}
 
-	for _, m := range e.copies.Nodes() {
+	e.copies.ForEach(func(m memory.NodeID) {
 		s.caches[m].Invalidate(b)
 		s.n.Invalidations++
-	}
+	})
 	e.copies = 0
 	e.overflow = false
 	s.n.Migrations++
@@ -433,10 +440,10 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	s.lastOp = OpInfo{Write: true, Op: cost.WriteMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant}
 	s.noteInvalidations(e.copies.Len())
 
-	for _, m := range e.copies.Nodes() {
+	e.copies.ForEach(func(m memory.NodeID) {
 		s.caches[m].Invalidate(b)
 		s.n.Invalidations++
-	}
+	})
 	e.copies = 0
 	e.overflow = false
 	line := s.insert(n, b, PermWrite)
@@ -468,10 +475,10 @@ func (s *System) writeHitUpgrade(n memory.NodeID, b memory.BlockID, line *cache.
 	s.lastOp = OpInfo{Write: true, Op: cost.WriteHit, HomeLocal: homeLocal, Distant: distant}
 	s.noteInvalidations(others.Len())
 
-	for _, m := range others.Nodes() {
+	others.ForEach(func(m memory.NodeID) {
 		s.caches[m].Invalidate(b)
 		s.n.Invalidations++
-	}
+	})
 	e.copies = memory.NodeSet(0).Add(n)
 	e.overflow = false
 	line.State = PermWrite
@@ -535,8 +542,9 @@ func (s *System) noteReclass(e *entry, was bool) {
 func (s *System) write(b memory.BlockID, line *cache.Line) {
 	line.Dirty = true
 	if s.versions != nil {
-		s.versions[b]++
-		line.Version = s.versions[b]
+		v, _ := s.versions.GetOrCreate(b)
+		*v++
+		line.Version = *v
 	}
 }
 
@@ -544,14 +552,17 @@ func (s *System) version(b memory.BlockID) uint64 {
 	if s.versions == nil {
 		return 0
 	}
-	return s.versions[b]
+	if v := s.versions.Get(b); v != nil {
+		return *v
+	}
+	return 0
 }
 
 func (s *System) checkRead(b memory.BlockID, line *cache.Line) error {
 	if s.versions == nil {
 		return nil
 	}
-	if want := s.versions[b]; line.Version != want {
+	if want := s.version(b); line.Version != want {
 		return fmt.Errorf("directory: stale read of block %d: version %d, latest %d", b, line.Version, want)
 	}
 	return nil
@@ -581,11 +592,11 @@ func (s *System) CacheStats() (hits, misses, evictions uint64) {
 // migratory.
 func (s *System) MigratoryBlocks() int {
 	n := 0
-	for _, e := range s.entries {
+	s.entries.ForEach(func(_ memory.BlockID, e *entry) {
 		if e.cls.Migratory {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -596,14 +607,14 @@ func (s *System) MigratoryBlocks() int {
 // migratory and are immediately declassified never appear here.
 func (s *System) EverMigratory() map[memory.BlockID]bool {
 	out := make(map[memory.BlockID]bool)
-	for b, e := range s.entries {
+	s.entries.ForEach(func(b memory.BlockID, e *entry) {
 		// Under an initially-migratory policy, a block that is still
 		// classified at the end survived every declassification test:
 		// count it as detected even though no classification event fired.
 		if e.everMigratory || (s.cfg.Policy.InitialMigratory && e.cls.Migratory) {
 			out[b] = true
 		}
-	}
+	})
 	return out
 }
 
@@ -639,8 +650,8 @@ func (s *System) CheckInvariants() error {
 		}
 	}
 	for b, tr := range actual {
-		e, ok := s.entries[b]
-		if !ok {
+		e := s.entries.Get(b)
+		if e == nil {
 			return fmt.Errorf("block %d cached but has no directory entry", b)
 		}
 		if e.copies != tr.copies {
@@ -656,17 +667,22 @@ func (s *System) CheckInvariants() error {
 			return fmt.Errorf("block %d: owner %d coexists with copies %v", b, tr.owner, tr.copies)
 		}
 	}
-	for b, e := range s.entries {
+	var entryErr error
+	s.entries.ForEach(func(b memory.BlockID, e *entry) {
+		if entryErr != nil {
+			return
+		}
 		if _, ok := actual[b]; ok {
-			continue
+			return
 		}
 		if !e.copies.Empty() || e.owner != memory.NoNode || e.dirty {
-			return fmt.Errorf("block %d: uncached but directory says copies=%v owner=%d dirty=%v",
+			entryErr = fmt.Errorf("block %d: uncached but directory says copies=%v owner=%d dirty=%v",
 				b, e.copies, e.owner, e.dirty)
+			return
 		}
 		if e.cls.Count != core.Uncached {
-			return fmt.Errorf("block %d: uncached but classifier count %v", b, e.cls.Count)
+			entryErr = fmt.Errorf("block %d: uncached but classifier count %v", b, e.cls.Count)
 		}
-	}
-	return nil
+	})
+	return entryErr
 }

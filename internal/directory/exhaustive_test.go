@@ -46,8 +46,8 @@ func dirSignature(s *System, nodes int) string {
 		}
 		fmt.Fprintf(&b, "%d/%v ", line.State, line.Dirty)
 	}
-	e, ok := s.entries[0]
-	if !ok {
+	e := s.entries.Get(0)
+	if e == nil {
 		b.WriteString("|no-entry")
 		return b.String()
 	}

@@ -8,7 +8,10 @@
 // constants.
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a byte address in the simulated shared address space.
 type Addr uint64
@@ -124,15 +127,7 @@ func (s NodeSet) Remove(n NodeID) NodeSet { return s &^ (1 << n) }
 func (s NodeSet) Contains(n NodeID) bool { return s&(1<<n) != 0 }
 
 // Len returns the number of nodes in the set.
-func (s NodeSet) Len() int {
-	// Kernighan popcount; sets are tiny (<=64 bits) and this avoids a
-	// math/bits import in a package meant to stay dependency-free.
-	n := 0
-	for v := uint64(s); v != 0; v &= v - 1 {
-		n++
-	}
-	return n
-}
+func (s NodeSet) Len() int { return bits.OnesCount64(uint64(s)) }
 
 // Empty reports whether the set has no members.
 func (s NodeSet) Empty() bool { return s == 0 }
@@ -143,11 +138,16 @@ func (s NodeSet) Sole() NodeID {
 	if s.Len() != 1 {
 		panic(fmt.Sprintf("memory: Sole called on set of size %d", s.Len()))
 	}
-	var n NodeID
-	for v := uint64(s); v&1 == 0; v >>= 1 {
-		n++
+	return NodeID(bits.TrailingZeros64(uint64(s)))
+}
+
+// ForEach calls fn for each member in ascending order. Unlike Nodes it does
+// not allocate, which matters to the protocol engines that walk copy sets
+// on every invalidation.
+func (s NodeSet) ForEach(fn func(NodeID)) {
+	for v := uint64(s); v != 0; v &= v - 1 {
+		fn(NodeID(bits.TrailingZeros64(v)))
 	}
-	return n
 }
 
 // Nodes returns the members of the set in ascending order.

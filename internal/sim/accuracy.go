@@ -66,20 +66,24 @@ func ClassifierAccuracy(app string, opts Options, cacheBytes int) ([]Accuracy, e
 	truth := trace.ClassifyBlocks(accs, geom)
 	pl := placement.UsageBased(accs, geom, opts.Nodes)
 
-	var out []Accuracy
+	var adaptive []core.Policy
 	for _, pol := range opts.Policies {
-		if !pol.Adaptive {
-			continue // nothing to score
+		if pol.Adaptive {
+			adaptive = append(adaptive, pol)
 		}
+	}
+	out := make([]Accuracy, len(adaptive))
+	err = runIndexed(len(adaptive), opts.workers(), func(i int) error {
+		pol := adaptive[i]
 		sys, err := directory.New(directory.Config{
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
 			Policy: pol, Placement: pl,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := sys.Run(accs); err != nil {
-			return nil, err
+			return err
 		}
 		detected := sys.EverMigratory()
 		acc := Accuracy{App: app, Policy: pol}
@@ -103,7 +107,11 @@ func ClassifierAccuracy(app string, opts Options, cacheBytes int) ([]Accuracy, e
 				acc.TrueNegative++
 			}
 		}
-		out = append(out, acc)
+		out[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -7,7 +7,6 @@ import (
 	"migratory/internal/memory"
 	"migratory/internal/stats"
 	"migratory/internal/timing"
-	"migratory/internal/workload"
 )
 
 // ExecApps are the three applications §4.2 simulates execution-driven: the
@@ -46,36 +45,43 @@ func ExecutionTime(opts Options, policy core.Policy, cacheBytes int) ([]ExecRow,
 		cacheBytes = 64 << 10
 	}
 	geom := memory.MustGeometry(16, PageSize)
-	var rows []ExecRow
-	for _, name := range opts.Apps {
-		prof, err := workload.ProfileByName(name)
-		if err != nil {
-			return nil, err
-		}
-		accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
-		if err != nil {
-			return nil, err
-		}
+	apps, err := prepareApps(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Two independent timing simulations per application (conventional and
+	// adaptive), fanned out together.
+	results := make([]timing.Result, 2*len(apps))
+	err = runIndexed(len(results), opts.workers(), func(i int) error {
+		app := apps[i/2]
 		params := timing.DefaultParams()
-		if t, ok := execThink[name]; ok {
+		if t, ok := execThink[app.Name]; ok {
 			params.ThinkCycles = t
 		}
-		base, err := timing.Run(accs, timing.Config{
+		pol := core.Conventional
+		if i%2 == 1 {
+			pol = policy
+		}
+		res, err := timing.Run(app.Trace, timing.Config{
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
-			Policy: core.Conventional, Params: params,
+			Policy: pol, Params: params,
 		})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
 		}
-		adp, err := timing.Run(accs, timing.Config{
-			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
-			Policy: policy, Params: params,
-		})
-		if err != nil {
-			return nil, err
-		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]ExecRow, 0, len(apps))
+	for ai, app := range apps {
+		base, adp := results[2*ai], results[2*ai+1]
 		rows = append(rows, ExecRow{
-			App:          name,
+			App:          app.Name,
 			Base:         base,
 			Adaptive:     adp,
 			ReductionPct: timing.Reduction(base, adp),

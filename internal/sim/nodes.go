@@ -9,6 +9,7 @@ import (
 	"migratory/internal/memory"
 	"migratory/internal/placement"
 	"migratory/internal/stats"
+	"migratory/internal/trace"
 	"migratory/internal/workload"
 )
 
@@ -36,35 +37,61 @@ func NodeCountSweep(app string, nodeCounts []int, opts Options) ([]NodeCountRow,
 	if err != nil {
 		return nil, err
 	}
-	geom := memory.MustGeometry(16, PageSize)
-	var rows []NodeCountRow
 	for _, n := range nodeCounts {
 		if n < 2 || n > memory.MaxNodes {
 			return nil, fmt.Errorf("sim: node count %d out of range", n)
 		}
-		accs, err := workload.Generate(prof, n, opts.Seed, opts.Length)
+	}
+	geom := memory.MustGeometry(16, PageSize)
+
+	// Each machine size has its own trace and placement; prepare them in
+	// parallel, then fan the (node count, policy) simulations out.
+	type prepared struct {
+		accs []trace.Access
+		pl   placement.Policy
+	}
+	preps := make([]prepared, len(nodeCounts))
+	workers := opts.workers()
+	err = runIndexed(len(nodeCounts), workers, func(i int) error {
+		accs, err := workload.Generate(prof, nodeCounts[i], opts.Seed, opts.Length)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pl := placement.UsageBased(accs, geom, n)
+		preps[i] = prepared{accs: accs, pl: placement.UsageBased(accs, geom, nodeCounts[i])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	pols := core.Policies()
+	msgs := make([]cost.Msgs, len(nodeCounts)*len(pols))
+	err = runIndexed(len(msgs), workers, func(i int) error {
+		ni, pi := i/len(pols), i%len(pols)
+		n := nodeCounts[ni]
+		sys, err := directory.New(directory.Config{
+			Nodes: n, Geometry: geom, Policy: pols[pi], Placement: preps[ni].pl,
+		})
+		if err != nil {
+			return err
+		}
+		if err := sys.Run(preps[ni].accs); err != nil {
+			return err
+		}
+		msgs[i] = sys.Messages()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]NodeCountRow, 0, len(nodeCounts))
+	for ni, n := range nodeCounts {
 		row := NodeCountRow{App: app, Nodes: n}
-		var base cost.Msgs
-		for i, pol := range core.Policies() {
-			sys, err := directory.New(directory.Config{
-				Nodes: n, Geometry: geom, Policy: pol, Placement: pl,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := sys.Run(accs); err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = sys.Messages()
-				row.BaseMsgs = base
-				continue
-			}
-			row.Reductions = append(row.Reductions, cost.Reduction(base, sys.Messages()))
+		base := msgs[ni*len(pols)]
+		row.BaseMsgs = base
+		for pi := 1; pi < len(pols); pi++ {
+			row.Reductions = append(row.Reductions, cost.Reduction(base, msgs[ni*len(pols)+pi]))
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"migratory/internal/core"
+)
+
+// withParallelism returns o with only the parallelism knob changed, so the
+// sequential and parallel runs are otherwise identical configurations.
+func withParallelism(o Options, p int) Options {
+	o.Parallelism = p
+	return o
+}
+
+// TestTable2ParallelDeterminism is the core guarantee of the parallel sweep
+// engine: a parallel run produces bit-identical results — down to the
+// rendered table text — to a fully sequential one.
+func TestTable2ParallelDeterminism(t *testing.T) {
+	opts := testOpts("Water", "MP3D")
+	opts.Length = 30_000
+
+	seq, err := Table2(withParallelism(opts, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table2(withParallelism(opts, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Render().String(), seq.Render().String(); got != want {
+		t.Fatalf("parallel Table2 render differs from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s", got, want)
+	}
+	if !reflect.DeepEqual(par.Flatten(), seq.Flatten()) {
+		t.Fatal("parallel Table2 Flatten() differs from sequential")
+	}
+}
+
+func TestTable3ParallelDeterminism(t *testing.T) {
+	opts := testOpts("Cholesky")
+	opts.Length = 30_000
+
+	seq, err := Table3(withParallelism(opts, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table3(withParallelism(opts, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Render().String(), seq.Render().String(); got != want {
+		t.Fatalf("parallel Table3 render differs from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s", got, want)
+	}
+	if !reflect.DeepEqual(par.Flatten(), seq.Flatten()) {
+		t.Fatal("parallel Table3 Flatten() differs from sequential")
+	}
+}
+
+func TestRunBusParallelDeterminism(t *testing.T) {
+	opts := testOpts("Water", "Pthor")
+	opts.Length = 30_000
+
+	seq, err := RunBus(withParallelism(opts, 1), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBus(withParallelism(opts, 8), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := par.Render().String(), seq.Render().String(); got != want {
+		t.Fatalf("parallel RunBus render differs from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s", got, want)
+	}
+	if !reflect.DeepEqual(par.Flatten(), seq.Flatten()) {
+		t.Fatal("parallel RunBus Flatten() differs from sequential")
+	}
+}
+
+func TestAuxiliarySweepsParallelDeterminism(t *testing.T) {
+	opts := testOpts("MP3D")
+	opts.Length = 20_000
+
+	t.Run("NodeCountSweep", func(t *testing.T) {
+		seq, err := NodeCountSweep("MP3D", []int{4, 8}, withParallelism(opts, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NodeCountSweep("MP3D", []int{4, 8}, withParallelism(opts, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("parallel = %+v\nsequential = %+v", par, seq)
+		}
+	})
+	t.Run("ClassifierAccuracy", func(t *testing.T) {
+		seq, err := ClassifierAccuracy("MP3D", withParallelism(opts, 1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ClassifierAccuracy("MP3D", withParallelism(opts, 8), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("parallel = %+v\nsequential = %+v", par, seq)
+		}
+	})
+	t.Run("ExecutionTime", func(t *testing.T) {
+		seq, err := ExecutionTime(withParallelism(opts, 1), core.Basic, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ExecutionTime(withParallelism(opts, 8), core.Basic, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("parallel = %+v\nsequential = %+v", par, seq)
+		}
+	})
+}
+
+// TestParallelSweepRaceSmoke drives the worker pool across every sweep with
+// more workers than cells are wide, purely so `go test -race` can observe
+// the concurrent access patterns. Results are checked for shape only — the
+// determinism tests above cover values.
+func TestParallelSweepRaceSmoke(t *testing.T) {
+	opts := Options{Nodes: 8, Seed: 7, Length: 5_000, Parallelism: 8}
+
+	sw, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Flatten()) == 0 {
+		t.Fatal("empty Table2 sweep")
+	}
+	bus, err := RunBus(opts, []int{16 << 10, 32 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bus.Flatten()) == 0 {
+		t.Fatal("empty bus sweep")
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweeps of §4 are embarrassingly parallel: every (app, policy, cache,
+// block) cell is an independent simulation over a shared read-only trace.
+// runIndexed is the one concurrency primitive the package uses — a
+// stdlib-only worker pool that executes fn(0) … fn(n-1) on up to `workers`
+// goroutines, pulling indices from a shared atomic counter.
+//
+// Determinism: callers write each result into slot i of a preallocated
+// slice and assemble the output in index order afterwards, so results are
+// identical regardless of how the cells were scheduled.
+//
+// Errors: the lowest-indexed error is returned and new work stops being
+// issued as soon as any error is observed (tasks already running finish).
+// With workers <= 1 the loop degenerates to the plain sequential sweep.
+func runIndexed(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+
+		mu      sync.Mutex
+		errIdx  = -1
+		firstEr error
+	)
+	report := func(i int, err error) {
+		mu.Lock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					report(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return firstEr
+}
+
+// workers resolves an Options.Parallelism value (0 = GOMAXPROCS) to a
+// positive worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -37,6 +37,12 @@ type Options struct {
 	Apps []string
 	// Policies restricts the protocols (nil = the paper's four).
 	Policies []core.Policy
+	// Parallelism bounds the worker goroutines the sweep drivers fan
+	// independent cells out on (0 = runtime.GOMAXPROCS(0), 1 = fully
+	// sequential). Every cell simulates a private System over a shared
+	// read-only trace, so results are deterministic — bit-identical to a
+	// sequential run — regardless of the setting or the scheduling.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +84,26 @@ func PrepareApp(name string, opts Options) (*App, error) {
 		return nil, err
 	}
 	return NewApp(name, accs, opts.Nodes), nil
+}
+
+// prepareApps prepares every application in opts.Apps, fanning the
+// generation and placement work out across opts.Parallelism workers. The
+// returned apps are immutable and shared read-only by every simulation
+// cell of a sweep.
+func prepareApps(opts Options) ([]*App, error) {
+	apps := make([]*App, len(opts.Apps))
+	err := runIndexed(len(apps), opts.workers(), func(i int) error {
+		app, err := PrepareApp(opts.Apps[i], opts)
+		if err != nil {
+			return err
+		}
+		apps[i] = app
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return apps, nil
 }
 
 // NewApp wraps an externally supplied trace (for example one read from a
@@ -196,28 +222,45 @@ func directorySweep(opts Options, apps []*App, cacheSizes, blockSizes []int, gro
 		sw.GroupValues = blockSizes
 	}
 	if apps == nil {
-		for _, name := range opts.Apps {
-			app, err := PrepareApp(name, opts)
-			if err != nil {
-				return nil, err
-			}
-			apps = append(apps, app)
+		var err error
+		if apps, err = prepareApps(opts); err != nil {
+			return nil, err
 		}
 	}
-	for _, app := range apps {
-		for _, gv := range sw.GroupValues {
+
+	// Fan the (app, group, policy) cells out across the worker pool; each
+	// lands in its index slot, so assembly below is in paper order no
+	// matter how the cells were scheduled.
+	nGroups, nPols := len(sw.GroupValues), len(opts.Policies)
+	cells := make([]Cell, len(apps)*nGroups*nPols)
+	err := runIndexed(len(cells), opts.workers(), func(i int) error {
+		app := apps[i/(nGroups*nPols)]
+		gv := sw.GroupValues[(i/nPols)%nGroups]
+		pol := opts.Policies[i%nPols]
+		cacheBytes, blockSize := gv, 16
+		if !groupIsCache {
+			cacheBytes, blockSize = 0, gv
+		}
+		cell, err := RunDirectoryCell(app, opts, pol, cacheBytes, blockSize)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ai, app := range apps {
+		for gi, gv := range sw.GroupValues {
 			cacheBytes, blockSize := gv, 16
 			if !groupIsCache {
 				cacheBytes, blockSize = 0, gv
 			}
 			row := Row{App: app.Name, CacheBytes: cacheBytes, BlockSize: blockSize}
-			for _, pol := range opts.Policies {
-				cell, err := RunDirectoryCell(app, opts, pol, cacheBytes, blockSize)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
-				}
-				row.Cells = append(row.Cells, cell)
-			}
+			base := (ai*nGroups + gi) * nPols
+			row.Cells = append(row.Cells, cells[base:base+nPols]...)
 			sw.Rows[gv] = append(sw.Rows[gv], row)
 		}
 	}
@@ -312,7 +355,9 @@ var BusCacheSizes = []int{64 << 10, 1 << 20}
 
 // RunBus runs the bus-based comparison of §4.3 over the given cache sizes
 // (nil = BusCacheSizes) and protocols (nil = MESI, Adaptive,
-// AdaptiveMigrateFirst).
+// AdaptiveMigrateFirst). It shares the directory sweeps' trace-preparation
+// path (PrepareApp) and fans the independent (app, cache, protocol) cells
+// out across opts.Parallelism workers.
 func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSweep, error) {
 	opts = opts.withDefaults()
 	if cacheSizes == nil {
@@ -322,33 +367,42 @@ func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSwe
 		protocols = []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst}
 	}
 	sw := &BusSweep{Options: opts, CacheSizes: cacheSizes, Protocols: protocols, Rows: make(map[int][]BusRow)}
+	apps, err := prepareApps(opts)
+	if err != nil {
+		return nil, err
+	}
 	geom := memory.MustGeometry(16, PageSize)
-	for _, name := range opts.Apps {
-		prof, err := workload.ProfileByName(name)
+
+	nCaches, nProts := len(cacheSizes), len(protocols)
+	cells := make([]BusCell, len(apps)*nCaches*nProts)
+	err = runIndexed(len(cells), opts.workers(), func(i int) error {
+		app := apps[i/(nCaches*nProts)]
+		cb := cacheSizes[(i/nProts)%nCaches]
+		p := protocols[i%nProts]
+		sys, err := snoop.New(snoop.Config{
+			Nodes:      opts.Nodes,
+			Geometry:   geom,
+			CacheBytes: cb,
+			Protocol:   p,
+		})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
-		accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
-		if err != nil {
-			return nil, err
+		if err := sys.Run(app.Trace); err != nil {
+			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
-		for _, cb := range cacheSizes {
-			row := BusRow{App: name, CacheBytes: cb}
-			for _, p := range protocols {
-				sys, err := snoop.New(snoop.Config{
-					Nodes:      opts.Nodes,
-					Geometry:   geom,
-					CacheBytes: cb,
-					Protocol:   p,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if err := sys.Run(accs); err != nil {
-					return nil, err
-				}
-				row.Cells = append(row.Cells, BusCell{App: name, Protocol: p, CacheBytes: cb, Counts: sys.Counts()})
-			}
+		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ai, app := range apps {
+		for ci, cb := range cacheSizes {
+			row := BusRow{App: app.Name, CacheBytes: cb}
+			base := (ai*nCaches + ci) * nProts
+			row.Cells = append(row.Cells, cells[base:base+nProts]...)
 			sw.Rows[cb] = append(sw.Rows[cb], row)
 		}
 	}

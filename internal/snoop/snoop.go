@@ -206,10 +206,17 @@ func (c Config) Validate() error {
 
 // System simulates one bus-based machine.
 type System struct {
-	cfg      Config
-	caches   []*cache.Cache
-	counts   Counts
-	versions map[memory.BlockID]uint64
+	cfg    Config
+	caches []*cache.Cache
+	counts Counts
+	// holders tracks which caches hold each block, mirroring the caches
+	// exactly. A real bus broadcasts and every cache snoops; the simulator
+	// used to model that with an O(nodes) Peek scan per transaction, which
+	// dominated the per-access cost. The holder set restricts each scan to
+	// the caches that can actually respond, with identical outcomes (a
+	// non-holder's snoop is a no-op).
+	holders  memory.BlockMap[memory.NodeSet]
+	versions *memory.BlockMap[uint64]
 
 	// Extra visibility counters.
 	readHits, writeHits uint64
@@ -231,9 +238,35 @@ func New(cfg Config) (*System, error) {
 		})
 	}
 	if cfg.CheckCoherence {
-		s.versions = make(map[memory.BlockID]uint64)
+		s.versions = new(memory.BlockMap[uint64])
 	}
 	return s, nil
+}
+
+// holderSet returns the set of caches currently holding block b.
+func (s *System) holderSet(b memory.BlockID) memory.NodeSet {
+	if p := s.holders.Get(b); p != nil {
+		return *p
+	}
+	return 0
+}
+
+func (s *System) addHolder(b memory.BlockID, n memory.NodeID) {
+	p, _ := s.holders.GetOrCreate(b)
+	*p = p.Add(n)
+}
+
+func (s *System) dropHolder(b memory.BlockID, n memory.NodeID) {
+	if p := s.holders.Get(b); p != nil {
+		*p = p.Remove(n)
+	}
+}
+
+// invalidate removes block b from node n's cache, keeping holder tracking
+// in sync.
+func (s *System) invalidate(n memory.NodeID, b memory.BlockID) {
+	s.caches[n].Invalidate(b)
+	s.dropHolder(b, n)
 }
 
 // Config returns the system configuration.
@@ -336,20 +369,14 @@ func (s *System) bumpEvidence(e uint8) uint8 {
 func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 	s.counts.ReadMiss++
 	var r response
-	for i := range s.caches {
-		if memory.NodeID(i) == n {
-			continue
-		}
+	// The conventional protocols have no Shared-2 state; their
+	// downgrades go straight to Shared.
+	down := StateS2
+	if !s.cfg.Protocol.Adaptive() {
+		down = StateS
+	}
+	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		line := s.caches[i].Peek(b)
-		if line == nil {
-			continue
-		}
-		// The conventional protocols have no Shared-2 state; their
-		// downgrades go straight to Shared.
-		down := StateS2
-		if !s.cfg.Protocol.Adaptive() {
-			down = StateS
-		}
 		switch line.State {
 		case StateE:
 			line.State = down
@@ -358,16 +385,16 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 			if s.cfg.Protocol == Symmetry {
 				// Symmetry model B: modified blocks always migrate.
 				// Ownership (still dirty) transfers to the requester.
-				s.caches[i].Invalidate(b)
+				s.invalidate(i, b)
 				r.mig = true
-				continue
+				return
 			}
 			if s.cfg.Protocol == Berkeley {
 				// Berkeley: the owner supplies the data and keeps the
 				// dirty master copy; memory is not updated.
 				line.State = StateO
 				r.shared = true
-				continue
+				return
 			}
 			// Provide data; memory snoops and is updated.
 			line.State = down
@@ -392,11 +419,11 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 			// Migrate: invalidate here, hand the (now clean, memory
 			// updated) block to the requester with Migratory asserted.
 			ev := line.Aux
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 			r.mig = true
 			r.evidence = ev
 		}
-	}
+	})
 
 	var st cache.State
 	var aux uint8
@@ -436,15 +463,10 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	s.counts.WriteMiss++
 	var r response
-	single := s.holders(b, n)
-	for i := range s.caches {
-		if memory.NodeID(i) == n {
-			continue
-		}
+	others := s.holderSet(b).Remove(n)
+	single := others.Len()
+	others.ForEach(func(i memory.NodeID) {
 		line := s.caches[i].Peek(b)
-		if line == nil {
-			continue
-		}
 		switch line.State {
 		case StateE, StateD:
 			// A write miss to a block with a single cached copy in E or D
@@ -455,20 +477,20 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 					r.mig = true
 				}
 			}
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 		case StateMD:
 			// The previous holder modified it: still migratory.
 			r.mig = true
 			r.evidence = line.Aux
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 		case StateMC:
 			// Not modified before leaving: declassify (no Migratory
 			// assertion); the requester installs a plain Dirty copy.
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 		default: // S, S2, O (a Berkeley owner provides the data as it goes)
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 		}
-	}
+	})
 	st := StateD
 	// The hysteresis evidence rides along with the dirty line even when it
 	// is still below the classification threshold.
@@ -489,14 +511,8 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.Line) {
 	s.counts.Invalidation++
 	var r response
-	for i := range s.caches {
-		if memory.NodeID(i) == n {
-			continue
-		}
+	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		other := s.caches[i].Peek(b)
-		if other == nil {
-			continue
-		}
 		switch other.State {
 		case StateS2:
 			// The invalidator holds the newer copy of a two-copy block:
@@ -507,11 +523,11 @@ func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.L
 					r.mig = true
 				}
 			}
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 		default: // S (and, for MESI, any shared copy)
-			s.caches[i].Invalidate(b)
+			s.invalidate(i, b)
 		}
-	}
+	})
 	if line.State == StateS2 || line.State == StateO {
 		// The older copy writing is not the migratory pattern (S2+Cwh -> D
 		// regardless of responses, Figure 2); a Berkeley owner likewise
@@ -539,22 +555,16 @@ func (s *System) writeUpdate(n memory.NodeID, b memory.BlockID, line *cache.Line
 	line.Dirty = false // the broadcast updated memory
 	line.Aux = 0
 	sharers := false
-	for i := range s.caches {
-		if memory.NodeID(i) == n {
-			continue
-		}
+	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		other := s.caches[i].Peek(b)
-		if other == nil {
-			continue
-		}
 		other.Aux++
 		if other.Aux >= 2 {
-			s.caches[i].Invalidate(b)
-			continue
+			s.invalidate(i, b)
+			return
 		}
 		other.Version = line.Version
 		sharers = true
-	}
+	})
 	if sharers {
 		line.State = StateS
 	} else {
@@ -562,35 +572,26 @@ func (s *System) writeUpdate(n memory.NodeID, b memory.BlockID, line *cache.Line
 	}
 }
 
-// holders counts cached copies excluding node n.
-func (s *System) holders(b memory.BlockID, n memory.NodeID) int {
-	count := 0
-	for i := range s.caches {
-		if memory.NodeID(i) == n {
-			continue
-		}
-		if s.caches[i].Peek(b) != nil {
-			count++
-		}
-	}
-	return count
-}
-
 // insert places the block, writing back a dirty victim.
 func (s *System) insert(n memory.NodeID, b memory.BlockID, st cache.State) *cache.Line {
 	line, victim := s.caches[n].Insert(b, st)
-	if victim != nil && victim.Dirty {
-		s.counts.WriteBack++
+	s.addHolder(b, n)
+	if victim != nil {
+		s.dropHolder(victim.Block, n)
+		if victim.Dirty {
+			s.counts.WriteBack++
+		}
+		// Clean drops are silent on a bus: there is no directory to notify.
 	}
-	// Clean drops are silent on a bus: there is no directory to notify.
 	return line
 }
 
 func (s *System) write(b memory.BlockID, line *cache.Line) {
 	line.Dirty = true
 	if s.versions != nil {
-		s.versions[b]++
-		line.Version = s.versions[b]
+		v, _ := s.versions.GetOrCreate(b)
+		*v++
+		line.Version = *v
 	}
 }
 
@@ -598,14 +599,17 @@ func (s *System) version(b memory.BlockID) uint64 {
 	if s.versions == nil {
 		return 0
 	}
-	return s.versions[b]
+	if v := s.versions.Get(b); v != nil {
+		return *v
+	}
+	return 0
 }
 
 func (s *System) checkRead(b memory.BlockID, line *cache.Line) error {
 	if s.versions == nil {
 		return nil
 	}
-	if want := s.versions[b]; line.Version != want {
+	if want := s.version(b); line.Version != want {
 		return fmt.Errorf("snoop: stale read of block %d: version %d, latest %d", b, line.Version, want)
 	}
 	return nil
@@ -631,6 +635,7 @@ func (s *System) States(b memory.BlockID) []int {
 func (s *System) CheckInvariants() error {
 	type info struct {
 		copies    int
+		holders   memory.NodeSet
 		exclusive int
 		s2        int
 		dirty     int
@@ -645,6 +650,7 @@ func (s *System) CheckInvariants() error {
 				blocks[b] = in
 			}
 			in.copies++
+			in.holders = in.holders.Add(memory.NodeID(i))
 			switch line.State {
 			case StateE, StateD, StateMC, StateMD:
 				in.exclusive++
@@ -660,6 +666,9 @@ func (s *System) CheckInvariants() error {
 		}
 	}
 	for b, in := range blocks {
+		if got := s.holderSet(b); got != in.holders {
+			return fmt.Errorf("block %d: holder set %v != cached copies %v", b, got, in.holders)
+		}
 		if in.exclusive > 1 {
 			return fmt.Errorf("block %d: %d exclusive copies", b, in.exclusive)
 		}
@@ -676,5 +685,15 @@ func (s *System) CheckInvariants() error {
 			return fmt.Errorf("block %d: %d dirty copies", b, in.dirty)
 		}
 	}
-	return nil
+	// No stale holder bits for uncached blocks.
+	var holderErr error
+	s.holders.ForEach(func(b memory.BlockID, hs *memory.NodeSet) {
+		if holderErr != nil || hs.Empty() {
+			return
+		}
+		if _, ok := blocks[b]; !ok {
+			holderErr = fmt.Errorf("block %d: uncached but holder set says %v", b, *hs)
+		}
+	})
+	return holderErr
 }

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BenchRecord is one benchmark's machine-readable metrics, as written to
+// results/bench_sweep.json by the benchmarks in the repository root.
+type BenchRecord struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// UpdateBenchJSON merges one benchmark's metrics into the JSON baseline at
+// path, creating the file (and its directory) if needed. Records are keyed
+// by benchmark name and kept sorted, so re-running a benchmark overwrites
+// its own record and leaves the rest of the baseline intact.
+func UpdateBenchJSON(path, name string, metrics map[string]float64) error {
+	var records []BenchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("stats: parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	rec := BenchRecord{Name: name, Metrics: metrics}
+	replaced := false
+	for i := range records {
+		if records[i].Name == name {
+			records[i], replaced = rec, true
+			break
+		}
+	}
+	if !replaced {
+		records = append(records, rec)
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Name < records[j].Name })
+
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUpdateBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "bench.json")
+
+	if err := UpdateBenchJSON(path, "BenchmarkB", map[string]float64{"ns_per_op": 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateBenchJSON(path, "BenchmarkA", map[string]float64{"speedup": 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Updating an existing record replaces it rather than appending.
+	if err := UpdateBenchJSON(path, "BenchmarkB", map[string]float64{"ns_per_op": 50}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []BenchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(records), records)
+	}
+	if records[0].Name != "BenchmarkA" || records[1].Name != "BenchmarkB" {
+		t.Fatalf("records not sorted by name: %+v", records)
+	}
+	if records[1].Metrics["ns_per_op"] != 50 {
+		t.Fatalf("update did not replace record: %+v", records[1])
+	}
+}
+
+func TestUpdateBenchJSONRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateBenchJSON(path, "X", nil); err == nil {
+		t.Fatal("expected error for corrupt baseline")
+	}
+}
