@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench ci inspect-demo
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
 
 ci: build vet test race
+
+# End-to-end observability demo: generate a short MP3D trace, replay it
+# under the basic protocol with the inspector attached, and export the
+# event stream for Perfetto (ui.perfetto.dev) alongside the JSONL form.
+inspect-demo:
+	$(GO) run ./cmd/tracegen -app MP3D -length 20000 -o /tmp/mp3d.trc
+	$(GO) run ./cmd/inspect -trace /tmp/mp3d.trc -variant basic \
+		-kinds classify,declassify,migration -max 25 \
+		-jsonl /tmp/mp3d-events.jsonl -perfetto /tmp/mp3d-trace.json

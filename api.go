@@ -1,10 +1,13 @@
 package migratory
 
 import (
+	"io"
+
 	"migratory/internal/core"
 	"migratory/internal/cost"
 	"migratory/internal/directory"
 	"migratory/internal/memory"
+	"migratory/internal/obs"
 	"migratory/internal/placement"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
@@ -293,6 +296,69 @@ type NodeCountRow = sim.NodeCountRow
 func NodeCountSweep(app string, nodeCounts []int, opts ExperimentOptions) ([]NodeCountRow, error) {
 	return sim.NodeCountSweep(app, nodeCounts, opts)
 }
+
+// Observability (internal/obs): a typed coherence event stream emitted by
+// both protocol engines, consumed by composable probes.
+type (
+	// Probe consumes coherence events (attach via DirectoryConfig.Probe,
+	// BusConfig.Probe, or ExperimentOptions.Probes).
+	Probe = obs.Probe
+	// CoherenceEvent is one typed coherence event.
+	CoherenceEvent = obs.Event
+	// EventKind enumerates coherence event types.
+	EventKind = obs.Kind
+	// EventFilter selects a subset of the event stream.
+	EventFilter = obs.Filter
+	// FilterProbe forwards matching events to an inner probe.
+	FilterProbe = obs.FilterProbe
+	// FuncProbe adapts a function to the Probe interface.
+	FuncProbe = obs.FuncProbe
+	// MultiProbe fans events out to several probes.
+	MultiProbe = obs.MultiProbe
+	// MetricsProbe aggregates per-node/per-block counters and histograms.
+	MetricsProbe = obs.MetricsProbe
+	// EventCounters is one node's or block's event tally.
+	EventCounters = obs.Counters
+	// EventHistogram is a power-of-two-bucketed distribution.
+	EventHistogram = obs.Histogram
+	// JSONLProbe streams events as JSON lines.
+	JSONLProbe = obs.JSONLProbe
+	// TraceEventProbe exports Chrome trace_event JSON for Perfetto.
+	TraceEventProbe = obs.TraceEventProbe
+)
+
+// Coherence event kinds.
+const (
+	EventState        = obs.KindState
+	EventEvidence     = obs.KindEvidence
+	EventClassify     = obs.KindClassify
+	EventDeclassify   = obs.KindDeclassify
+	EventMigration    = obs.KindMigration
+	EventReplication  = obs.KindReplication
+	EventInvalidation = obs.KindInvalidation
+	EventWriteBack    = obs.KindWriteBack
+	EventCleanDrop    = obs.KindCleanDrop
+	EventMessage      = obs.KindMessage
+	EventOverflow     = obs.KindOverflow
+	EventHit          = obs.KindHit
+)
+
+// ParseEventKind resolves an event-kind name ("classify", "migration", ...).
+func ParseEventKind(name string) (EventKind, error) { return obs.ParseKind(name) }
+
+// EventKinds lists every event kind.
+func EventKinds() []EventKind { return obs.Kinds() }
+
+// NewJSONLProbe returns a probe streaming one JSON object per event to w.
+func NewJSONLProbe(w io.Writer) *JSONLProbe { return obs.NewJSONLProbe(w) }
+
+// NewTraceEventProbe returns a probe exporting Chrome trace_event JSON
+// (openable in Perfetto) to w. Call Close after the run.
+func NewTraceEventProbe(w io.Writer) *TraceEventProbe { return obs.NewTraceEventProbe(w) }
+
+// MergeMetrics merges per-cell MetricsProbes, in order, into one aggregate;
+// merge sweep cells in paper order for deterministic totals.
+func MergeMetrics(probes ...*MetricsProbe) *MetricsProbe { return obs.MergeMetrics(probes...) }
 
 // Timing model (§4.2).
 type (

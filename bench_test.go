@@ -832,3 +832,66 @@ func BenchmarkRunBusParallel(b *testing.B) {
 	b.StopTimer()
 	reportSpeedup(b, "BenchmarkRunBusParallel", seq)
 }
+
+// probeOverheadBaseline is the pre-observability BenchmarkTable2/MP3D-shaped
+// measurement (all four policies, 64 KB caches, benchLength trace), captured
+// before the probe layer landed. The nil-probe sub-benchmark below re-records
+// the same workload into results/bench_sweep.json next to these figures, so
+// a drift of the uninstrumented hot path shows up in the baseline diff.
+const (
+	probeOverheadBaselineNs     = 17644318
+	probeOverheadBaselineAllocs = 241
+)
+
+// BenchmarkProbeOverhead prices the observability layer on the
+// BenchmarkTable2/MP3D hot path. Every emission site in the directory engine
+// hides behind a single probe-nil pointer test, so the nil-probe variant
+// must stay within noise of the pre-observability baseline (ns/op and
+// allocs/op); the metrics-probe variant measures a fully attached
+// MetricsProbe for comparison.
+func BenchmarkProbeOverhead(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	pl := placement.UsageBased(accs, benchGeom, 16)
+	iter := func(b *testing.B, probe func() Probe) {
+		b.Helper()
+		for _, pol := range core.Policies() {
+			sys, err := directory.New(directory.Config{
+				Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+				Policy: pol, Placement: pl, Probe: probe(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Run(accs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil-probe", func(b *testing.B) {
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			iter(b, func() Probe { return nil })
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkProbeOverhead/nil-probe", map[string]float64{
+			"ns_per_op":              float64(elapsed.Nanoseconds()) / float64(b.N),
+			"allocs_per_op":          float64(after.Mallocs-before.Mallocs) / float64(b.N),
+			"baseline_ns_per_op":     probeOverheadBaselineNs,
+			"baseline_allocs_per_op": probeOverheadBaselineAllocs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("metrics-probe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			iter(b, func() Probe { return &MetricsProbe{} })
+		}
+	})
+}

@@ -36,6 +36,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "bussim: -parallelism must be >= 0 (got %d)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")

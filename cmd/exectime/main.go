@@ -33,6 +33,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "exectime: -parallelism must be >= 0 (got %d)\n", *parallel)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	pol, err := core.PolicyByName(*policy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "exectime: %v\n", err)

@@ -1,0 +1,295 @@
+// Command inspect replays a trace under any protocol variant with the
+// observability layer attached: it prints and filters the typed coherence
+// event stream, reports per-node metrics, histograms, and the hottest
+// blocks by coherence messages, and can export the stream as JSONL or as a
+// Chrome trace_event file that opens in Perfetto (ui.perfetto.dev).
+//
+// Usage:
+//
+//	inspect -app MP3D -variant basic -max 50          # first 50 events
+//	inspect -app MP3D -variant aggressive -kinds classify,declassify
+//	inspect -trace t.bin -engine bus -variant adaptive -blocks 3,17
+//	inspect -app Water -variant basic -perfetto run.json -events=false
+//	inspect -app MP3D -variant conservative -top 20 -jsonl events.jsonl
+//
+// Filters (-kinds, -blocks, -filter-nodes) restrict the printed stream and
+// the JSONL/Perfetto exports; the metrics report always aggregates the full
+// stream, so its message totals reconcile with the engine's cost counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"migratory/internal/core"
+	"migratory/internal/directory"
+	"migratory/internal/memory"
+	"migratory/internal/obs"
+	"migratory/internal/placement"
+	"migratory/internal/sim"
+	"migratory/internal/snoop"
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "inspect: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "inspect: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		app       = flag.String("app", "", "application profile to generate (see tracegen -list)")
+		traceIn   = flag.String("trace", "", "replay a binary trace file (from tracegen) instead of generating")
+		length    = flag.Int("length", 0, "generated trace length (0 = profile default)")
+		seed      = flag.Int64("seed", 1993, "workload generator seed")
+		nodes     = flag.Int("nodes", 16, "processor count")
+		engine    = flag.String("engine", "directory", "protocol engine: directory or bus")
+		variant   = flag.String("variant", "basic", "protocol variant (directory: conventional, conservative, basic, aggressive, stenstrom; bus: mesi, adaptive, adaptive-migrate-first, symmetry, berkeley, update-once)")
+		cacheKB   = flag.Int("cache", 0, "per-node cache size in KB (0 = infinite)")
+		blockSize = flag.Int("block", 16, "block size in bytes")
+
+		kinds     = flag.String("kinds", "", "comma-separated event kinds to show (default: all; e.g. classify,migration)")
+		blocks    = flag.String("blocks", "", "comma-separated block IDs to show (default: all)")
+		nodesFlt  = flag.String("filter-nodes", "", "comma-separated node IDs to show (default: all)")
+		events    = flag.Bool("events", true, "print the (filtered) event stream")
+		max       = flag.Int("max", 100, "print at most this many events (0 = unlimited)")
+		top       = flag.Int("top", 10, "report the N hottest blocks by coherence messages (0 = skip)")
+		metrics   = flag.Bool("metrics", true, "print the per-node metrics and histogram report")
+		jsonlOut  = flag.String("jsonl", "", "write the (filtered) event stream as JSON lines to this file")
+		perfetto  = flag.String("perfetto", "", "write a Chrome trace_event file (opens in Perfetto) to this file")
+		listKinds = flag.Bool("list-kinds", false, "list the event kinds and exit")
+	)
+	flag.Parse()
+
+	if *listKinds {
+		for _, k := range obs.Kinds() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	filter, err := buildFilter(*kinds, *blocks, *nodesFlt)
+	if err != nil {
+		usage("%v", err)
+	}
+
+	accs := loadTrace(*app, *traceIn, *nodes, *seed, *length)
+
+	// Assemble the probe chain: the metrics probe sees the full stream;
+	// printer and exporters sit behind the filter.
+	mp := &obs.MetricsProbe{}
+	probes := obs.MultiProbe{mp}
+	var filtered obs.MultiProbe
+
+	printed, truncated := 0, false
+	if *events {
+		filtered = append(filtered, obs.FuncProbe(func(e obs.Event) {
+			if *max > 0 && printed >= *max {
+				truncated = true
+				return
+			}
+			printed++
+			fmt.Println(e)
+		}))
+	}
+	var jp *obs.JSONLProbe
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		jp = obs.NewJSONLProbe(f)
+		filtered = append(filtered, jp)
+	}
+	var tp *obs.TraceEventProbe
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		tp = obs.NewTraceEventProbe(f)
+		filtered = append(filtered, tp)
+	}
+	if len(filtered) > 0 {
+		probes = append(probes, obs.FilterProbe{Filter: filter, Next: filtered})
+	}
+
+	run(*engine, *variant, accs, *nodes, *cacheKB<<10, *blockSize, probes)
+
+	if truncated {
+		fmt.Printf("... (stream truncated at %d events; raise -max)\n", *max)
+	}
+	if jp != nil {
+		if err := jp.Flush(); err != nil {
+			fatal("writing %s: %v", *jsonlOut, err)
+		}
+		fmt.Printf("wrote JSONL event stream to %s\n", *jsonlOut)
+	}
+	if tp != nil {
+		if err := tp.Close(); err != nil {
+			fatal("writing %s: %v", *perfetto, err)
+		}
+		fmt.Printf("wrote Perfetto trace to %s (open at ui.perfetto.dev)\n", *perfetto)
+	}
+
+	mp.Finish()
+	if *metrics {
+		fmt.Printf("\nPer-node metrics (%s, %d events, %d blocks):\n\n", mp.Variant, mp.Total.Events, mp.BlockCount())
+		if err := mp.RenderNodes().Render(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println()
+		if err := mp.RenderHistograms().Render(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *top > 0 {
+		fmt.Printf("\nTop %d hottest blocks by coherence messages:\n\n", *top)
+		if err := mp.RenderTopBlocks(*top).Render(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// loadTrace produces the access stream from -trace or -app.
+func loadTrace(app, traceIn string, nodes int, seed int64, length int) []trace.Access {
+	switch {
+	case traceIn != "":
+		f, err := os.Open(traceIn)
+		if err != nil {
+			fatal("%v", err)
+		}
+		accs, err := trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		return accs
+	case app != "":
+		prof, err := workload.ProfileByName(app)
+		if err != nil {
+			fatal("%v", err)
+		}
+		accs, err := workload.Generate(prof, nodes, seed, length)
+		if err != nil {
+			fatal("%v", err)
+		}
+		return accs
+	default:
+		usage("need -app or -trace")
+		return nil
+	}
+}
+
+// run replays the trace under the selected engine and variant with the
+// probe attached.
+func run(engine, variant string, accs []trace.Access, nodes, cacheBytes, blockSize int, probe obs.Probe) {
+	geom, err := memory.NewGeometry(blockSize, sim.PageSize)
+	if err != nil {
+		fatal("%v", err)
+	}
+	switch engine {
+	case "directory":
+		pol, err := core.PolicyByName(variant)
+		if err != nil {
+			usage("%v", err)
+		}
+		sys, err := directory.New(directory.Config{
+			Nodes:      nodes,
+			Geometry:   geom,
+			CacheBytes: cacheBytes,
+			Policy:     pol,
+			Placement:  placement.UsageBased(accs, geom, nodes),
+			Probe:      probe,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := sys.Run(accs); err != nil {
+			fatal("%v", err)
+		}
+		m := sys.Messages()
+		fmt.Printf("\n%s/%s: %d accesses, %d short + %d data messages\n",
+			engine, variant, sys.Counters().Accesses, m.Short, m.Data)
+	case "bus":
+		prot, err := busProtocolByName(variant)
+		if err != nil {
+			usage("%v", err)
+		}
+		sys, err := snoop.New(snoop.Config{
+			Nodes:      nodes,
+			Geometry:   geom,
+			CacheBytes: cacheBytes,
+			Protocol:   prot,
+			Probe:      probe,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := sys.Run(accs); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("\n%s/%s: %d accesses, %d bus transactions\n",
+			engine, variant, len(accs), sys.Counts().Total())
+	default:
+		usage("unknown engine %q (want directory or bus)", engine)
+	}
+}
+
+func busProtocolByName(name string) (snoop.Protocol, error) {
+	all := []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst,
+		snoop.Symmetry, snoop.Berkeley, snoop.UpdateOnce}
+	for _, p := range all {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown bus protocol %q", name)
+}
+
+// buildFilter parses the -kinds, -blocks, and -filter-nodes flags.
+func buildFilter(kinds, blocks, nodes string) (obs.Filter, error) {
+	var f obs.Filter
+	if kinds != "" {
+		for _, name := range strings.Split(kinds, ",") {
+			k, err := obs.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				return f, err
+			}
+			f.Kinds = f.Kinds.Add(k)
+		}
+	}
+	if blocks != "" {
+		f.Blocks = make(map[memory.BlockID]bool)
+		for _, s := range strings.Split(blocks, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad block ID %q", s)
+			}
+			f.Blocks[memory.BlockID(v)] = true
+		}
+	}
+	if nodes != "" {
+		f.Nodes = make(map[memory.NodeID]bool)
+		for _, s := range strings.Split(nodes, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+			if err != nil {
+				return f, fmt.Errorf("bad node ID %q", s)
+			}
+			f.Nodes[memory.NodeID(v)] = true
+		}
+	}
+	return f, nil
+}

@@ -39,6 +39,35 @@
 //	_ = sys.Run(accs)
 //	fmt.Println(sys.Messages())
 //
+// # Observability
+//
+// Both protocol engines can emit a typed stream of coherence events —
+// state transitions, classification flips with the access that triggered
+// them, migrations, invalidations, write-backs, message charges — through
+// a Probe attached to the system config. A nil probe costs one pointer
+// test per emission site. MetricsProbe aggregates the stream into
+// per-node and per-block counters plus histograms of migration run length
+// and classification latency, and its message totals exactly reconcile
+// with the engines' cost accounting; NewJSONLProbe streams events as JSON
+// lines and NewTraceEventProbe writes a Chrome trace_event file that
+// opens in Perfetto. Probes compose with MultiProbe, filter with
+// FilterProbe, and instrument whole sweeps via ExperimentOptions.Probes
+// (one probe per cell, merged deterministically with MergeMetrics). To
+// watch a protocol work:
+//
+//	mp := &migratory.MetricsProbe{}
+//	sys, _ := migratory.NewDirectorySystem(migratory.DirectoryConfig{
+//	    Nodes: 16, Geometry: geom, Policy: migratory.Basic,
+//	    Placement: pl, Probe: mp,
+//	})
+//	_ = sys.Run(accs)
+//	mp.Finish()
+//	mp.RenderNodes().Render(os.Stdout)
+//
+// The cmd/inspect CLI wraps all of this: it replays a trace under any
+// variant, prints and filters the event stream, reports the hottest
+// blocks, and exports JSONL or Perfetto traces.
+//
 // The cmd/ directory holds CLIs that regenerate each of the paper's tables
 // and figures; see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for measured-versus-published results.

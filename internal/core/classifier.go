@@ -62,6 +62,23 @@ type Classifier struct {
 	LastInvalidator memory.NodeID
 	// Evidence counts successive migratory events toward Hysteresis.
 	Evidence int
+
+	// Observe, when non-nil, is called synchronously after every change to
+	// Evidence or Migratory, with the state after the change. It exists for
+	// observability layers; the classifier's decisions never depend on it.
+	Observe func(Change)
+}
+
+// Change describes one observable update to a classifier's adaptive state:
+// the Evidence counter and Migratory classification after the change, and
+// whether the classification itself flipped.
+type Change struct {
+	// Evidence is the hysteresis counter after the change.
+	Evidence int
+	// Migratory is the classification after the change.
+	Migratory bool
+	// Flipped reports whether Migratory differs from before the change.
+	Flipped bool
 }
 
 // NewClassifier returns the directory entry state for a freshly allocated
@@ -89,11 +106,18 @@ func (c *Classifier) record() {
 	if !c.policy.Adaptive {
 		return
 	}
+	changed := false
 	if c.Evidence < c.policy.Hysteresis {
 		c.Evidence++
+		changed = true
 	}
-	if c.Evidence >= c.policy.Hysteresis {
+	flipped := false
+	if c.Evidence >= c.policy.Hysteresis && !c.Migratory {
 		c.Migratory = true
+		changed, flipped = true, true
+	}
+	if changed && c.Observe != nil {
+		c.Observe(Change{Evidence: c.Evidence, Migratory: c.Migratory, Flipped: flipped})
 	}
 }
 
@@ -101,8 +125,25 @@ func (c *Classifier) record() {
 // (Figure 3 sets "one migration <- FALSE" whenever it declassifies or
 // replicates).
 func (c *Classifier) declassify() {
+	changed := c.Migratory || c.Evidence != 0
+	flipped := c.Migratory
 	c.Migratory = false
 	c.Evidence = 0
+	if changed && c.Observe != nil {
+		c.Observe(Change{Flipped: flipped})
+	}
+}
+
+// resetEvidence clears the evidence counter without touching the
+// classification, notifying the observer only on an actual change.
+func (c *Classifier) resetEvidence() {
+	if c.Evidence == 0 {
+		return
+	}
+	c.Evidence = 0
+	if c.Observe != nil {
+		c.Observe(Change{Migratory: c.Migratory})
+	}
 }
 
 // ReadMiss applies Figure 3's read-miss handler. dirty reports whether the
@@ -146,7 +187,7 @@ func (c *Classifier) ReadMiss(dirty bool) (migrate bool) {
 	// We therefore clear the evidence only when replication demonstrates
 	// read-sharing — the copy that was just created is at least the third.
 	if c.Count == ThreeOrMore {
-		c.Evidence = 0
+		c.resetEvidence()
 	}
 	return false
 }
@@ -221,9 +262,15 @@ func (c *Classifier) WriteHit(requester memory.NodeID, invalidatedOthers bool) {
 func (c *Classifier) BecameUncached() {
 	c.Count = Uncached
 	if !c.policy.RetainWhenUncached {
-		c.Migratory = c.policy.Adaptive && c.policy.InitialMigratory
+		initial := c.policy.Adaptive && c.policy.InitialMigratory
+		flipped := c.Migratory != initial
+		changed := flipped || c.Evidence != 0
+		c.Migratory = initial
 		c.Evidence = 0
 		c.LastInvalidator = memory.NoNode
+		if changed && c.Observe != nil {
+			c.Observe(Change{Migratory: c.Migratory, Flipped: flipped})
+		}
 	}
 }
 

@@ -165,6 +165,17 @@ func (c *Counter) Accumulate(op Op, m Msgs) {
 	c.ops[op]++
 }
 
+// Merge accumulates another counter into c across every operation class.
+// Merge is associative and commutative, so per-cell counters merged in any
+// fixed order equal one sequentially charged counter.
+func (c *Counter) Merge(o *Counter) {
+	c.total = c.total.Add(o.total)
+	for i := range c.byOp {
+		c.byOp[i] = c.byOp[i].Add(o.byOp[i])
+		c.ops[i] += o.ops[i]
+	}
+}
+
 // Total returns the accumulated counts.
 func (c *Counter) Total() Msgs { return c.total }
 

@@ -144,6 +144,69 @@ func TestCounterAccumulate(t *testing.T) {
 	}
 }
 
+func TestCounterZeroValue(t *testing.T) {
+	var c Counter
+	if c.Total() != (Msgs{}) {
+		t.Fatalf("zero counter Total = %+v", c.Total())
+	}
+	for op := ReadMiss; op <= WriteBack; op++ {
+		if c.ByOp(op) != (Msgs{}) || c.Ops(op) != 0 {
+			t.Fatalf("zero counter ByOp(%v) = %+v, Ops = %d", op, c.ByOp(op), c.Ops(op))
+		}
+	}
+	// A zero-value counter is immediately usable and a zero-value merge is
+	// a no-op.
+	var o Counter
+	c.Merge(&o)
+	if c.Total() != (Msgs{}) {
+		t.Fatalf("after empty merge: %+v", c.Total())
+	}
+}
+
+// TestCounterMergeMatchesSequential charges a deterministic pseudo-random
+// operation stream into one sequential counter and into per-cell counters
+// split round-robin, then merges the cells in every order: per-op totals
+// must match the sequential run exactly regardless of merge order (the
+// property the parallel sweep drivers rely on when combining per-cell
+// metrics).
+func TestCounterMergeMatchesSequential(t *testing.T) {
+	ops := []struct {
+		op        Op
+		homeLocal bool
+		dirty     bool
+		distant   int
+	}{
+		{ReadMiss, false, true, 3},
+		{WriteMiss, true, false, 2},
+		{WriteHit, false, false, 1},
+		{DropClean, false, false, 0},
+		{WriteBack, false, true, 0},
+		{ReadMiss, true, false, 0},
+		{WriteMiss, false, true, 4},
+	}
+	var seq Counter
+	cells := make([]Counter, 3)
+	for i := 0; i < 100; i++ {
+		o := ops[i%len(ops)]
+		seq.Charge(o.op, o.homeLocal, o.dirty, o.distant)
+		cells[i%len(cells)].Charge(o.op, o.homeLocal, o.dirty, o.distant)
+	}
+	for _, order := range [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}} {
+		var merged Counter
+		for _, i := range order {
+			merged.Merge(&cells[i])
+		}
+		if merged.Total() != seq.Total() {
+			t.Fatalf("merge order %v: Total %+v != sequential %+v", order, merged.Total(), seq.Total())
+		}
+		for op := ReadMiss; op <= WriteBack; op++ {
+			if merged.ByOp(op) != seq.ByOp(op) || merged.Ops(op) != seq.Ops(op) {
+				t.Fatalf("merge order %v: op %v mismatch", order, op)
+			}
+		}
+	}
+}
+
 func TestReduction(t *testing.T) {
 	base := Msgs{2092, 934} // MP3D 4K conventional, Table 2
 	agg := Msgs{784, 936}   // MP3D 4K aggressive

@@ -20,6 +20,7 @@ import (
 	"migratory/internal/core"
 	"migratory/internal/cost"
 	"migratory/internal/memory"
+	"migratory/internal/obs"
 	"migratory/internal/placement"
 	"migratory/internal/trace"
 )
@@ -81,6 +82,11 @@ type Config struct {
 	// Migratory detection interacts with this favourably: migrating blocks
 	// never grow their copy sets past one, so overflows become rarer.
 	DirPointers int
+	// Probe, when non-nil, receives a typed event for every coherence
+	// action (internal/obs). Probes are invoked synchronously from the
+	// simulation loop; nil (the default) costs nothing beyond a branch at
+	// each emission site.
+	Probe obs.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -185,6 +191,10 @@ type System struct {
 	// coherence checking; nil unless CheckCoherence is set.
 	versions *memory.BlockMap[uint64]
 	lastOp   OpInfo
+	// probe mirrors cfg.Probe; cur is the access being serviced, for
+	// stamping emitted events (maintained only when probe is non-nil).
+	probe obs.Probe
+	cur   trace.Access
 	// invalHist counts ownership-acquiring operations by how many remote
 	// copies they invalidated (the cache-invalidation-pattern analysis of
 	// Weber & Gupta, the paper's reference [23], which motivates the whole
@@ -228,6 +238,7 @@ func New(cfg Config) (*System, error) {
 		cfg:       cfg,
 		caches:    make([]*cache.Cache, cfg.Nodes),
 		invalHist: make([]uint64, cfg.Nodes+1),
+		probe:     cfg.Probe,
 	}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
@@ -250,8 +261,58 @@ func (s *System) entryFor(b memory.BlockID) *entry {
 	if created {
 		e.cls = core.NewClassifier(s.cfg.Policy)
 		e.owner = memory.NoNode
+		if s.probe != nil {
+			e.cls.Observe = func(ch core.Change) { s.emitClassifier(b, ch) }
+		}
 	}
 	return e
+}
+
+// StateName renders a directory cache-line permission state for events and
+// diagnostics ("R", "W"; "I" denotes an absent line).
+func StateName(st cache.State) string {
+	if st == PermWrite {
+		return "W"
+	}
+	return "R"
+}
+
+// emit stamps and delivers one event; callers guard with s.probe != nil.
+func (s *System) emit(e obs.Event) {
+	e.Step = s.n.Accesses - 1
+	e.Variant = s.cfg.Policy.Name
+	e.Access = s.cur
+	s.probe.OnEvent(e)
+}
+
+// emitClassifier translates a classifier state change into the matching
+// event kind. The node is the requester of the in-flight access: every
+// classifier transition happens while the directory services some access.
+func (s *System) emitClassifier(b memory.BlockID, ch core.Change) {
+	k := obs.KindEvidence
+	if ch.Flipped {
+		if ch.Migratory {
+			k = obs.KindClassify
+		} else {
+			k = obs.KindDeclassify
+		}
+	}
+	s.emit(obs.Event{Kind: k, Node: s.cur.Node, Block: b, Evidence: ch.Evidence, Migratory: ch.Migratory})
+}
+
+// emitMessage reports one charged transaction.
+func (s *System) emitMessage(n memory.NodeID, b memory.BlockID, op cost.Op, m cost.Msgs) {
+	s.emit(obs.Event{Kind: obs.KindMessage, Node: n, Block: b, Op: op.String(), Short: m.Short, Data: m.Data})
+}
+
+// emitInvalidation reports the invalidation of node m's copy of b, peeking
+// the line's state before the caller invalidates it.
+func (s *System) emitInvalidation(m memory.NodeID, b memory.BlockID) {
+	old := "R"
+	if line := s.caches[m].Peek(b); line != nil {
+		old = StateName(line.State)
+	}
+	s.emit(obs.Event{Kind: obs.KindInvalidation, Node: m, Block: b, Old: old, New: "I"})
 }
 
 func (s *System) home(b memory.BlockID) memory.NodeID {
@@ -274,6 +335,9 @@ func (s *System) Access(a trace.Access) error {
 		return fmt.Errorf("directory: node %d out of range (%d nodes)", a.Node, s.cfg.Nodes)
 	}
 	s.n.Accesses++
+	if s.probe != nil {
+		s.cur = a
+	}
 	b := s.cfg.Geometry.Block(a.Addr)
 	line := s.caches[a.Node].Lookup(b)
 
@@ -281,6 +345,9 @@ func (s *System) Access(a trace.Access) error {
 		if line != nil {
 			s.n.ReadHits++
 			s.lastOp = OpInfo{Hit: true}
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindHit, Node: a.Node, Block: b})
+			}
 			return s.checkRead(b, line)
 		}
 		s.n.ReadMisses++
@@ -296,6 +363,9 @@ func (s *System) Access(a trace.Access) error {
 			// (dirty block, or a clean block granted by migration).
 			s.n.WriteHits++
 			s.lastOp = OpInfo{Hit: true, Write: true}
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindHit, Node: a.Node, Block: b})
+			}
 			s.write(b, line)
 			e := s.entryFor(b)
 			e.dirty = true
@@ -332,8 +402,11 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 	migrate := e.cls.ReadMiss(e.dirty)
 	s.noteReclass(e, wasMigratory)
 
-	s.msgs.Charge(cost.ReadMiss, homeLocal, ownerHeld, distant)
+	m := s.msgs.Charge(cost.ReadMiss, homeLocal, ownerHeld, distant)
 	s.lastOp = OpInfo{Op: cost.ReadMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant, Migrated: migrate}
+	if s.probe != nil {
+		s.emitMessage(n, b, cost.ReadMiss, m)
+	}
 
 	if migrate {
 		s.n.Migrations++
@@ -342,15 +415,24 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 		// the way (already charged as the data messages above).
 		if e.owner != memory.NoNode {
 			old := e.owner
+			if s.probe != nil {
+				s.emitInvalidation(old, b)
+			}
 			s.caches[old].Invalidate(b)
 			e.copies = e.copies.Remove(old)
 			s.n.Invalidations++
+		}
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindMigration, Node: n, Block: b, Migratory: true})
 		}
 		line := s.insert(n, b, PermWrite)
 		line.Version = s.version(b)
 		e.copies = e.copies.Add(n)
 		e.owner = n
 		e.dirty = false
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "I", New: "W", Migratory: e.cls.Migratory})
+		}
 		return
 	}
 
@@ -361,14 +443,23 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 		owner := s.caches[e.owner].Peek(b)
 		owner.State = PermRead
 		owner.Dirty = false
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindState, Node: e.owner, Block: b, Old: "W", New: "R"})
+		}
 		e.owner = memory.NoNode
 		e.dirty = false
+	}
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindReplication, Node: n, Block: b, Migratory: e.cls.Migratory})
 	}
 	line := s.insert(n, b, PermRead)
 	line.Version = s.version(b)
 	e.copies = e.copies.Add(n)
 	if s.cfg.DirPointers > 0 && e.copies.Len() > s.cfg.DirPointers {
 		e.overflow = true
+	}
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "I", New: "R", Migratory: e.cls.Migratory})
 	}
 }
 
@@ -385,27 +476,42 @@ func (s *System) readWithOwnership(n memory.NodeID, b memory.BlockID) {
 	if e.overflow {
 		distant = s.broadcastDistant(n, home)
 		s.n.Overflows++
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindOverflow, Node: n, Block: b})
+		}
 	}
 
 	// Keep the classifier's copy-count bookkeeping coherent even though
 	// its decisions are overridden.
 	e.cls.WriteMiss(n, !e.copies.Empty(), e.dirty)
 
-	s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
+	msg := s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
 	s.lastOp = OpInfo{Op: cost.WriteMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant, Migrated: true}
+	if s.probe != nil {
+		s.emitMessage(n, b, cost.WriteMiss, msg)
+	}
 
 	e.copies.ForEach(func(m memory.NodeID) {
+		if s.probe != nil {
+			s.emitInvalidation(m, b)
+		}
 		s.caches[m].Invalidate(b)
 		s.n.Invalidations++
 	})
 	e.copies = 0
 	e.overflow = false
 	s.n.Migrations++
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindMigration, Node: n, Block: b, Migratory: true})
+	}
 	line := s.insert(n, b, PermWrite)
 	line.Version = s.version(b)
 	e.copies = e.copies.Add(n)
 	e.owner = n
 	e.dirty = false
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "I", New: "W", Migratory: e.cls.Migratory})
+	}
 }
 
 // broadcastDistant returns the DistantCopies cardinality to charge when a
@@ -429,6 +535,9 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	if e.overflow {
 		distant = s.broadcastDistant(n, home)
 		s.n.Overflows++
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindOverflow, Node: n, Block: b})
+		}
 	}
 	hadCopies := !e.copies.Empty()
 
@@ -436,11 +545,17 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	e.cls.WriteMiss(n, hadCopies, e.dirty)
 	s.noteReclass(e, wasMigratory)
 
-	s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
+	msg := s.msgs.Charge(cost.WriteMiss, homeLocal, ownerHeld, distant)
 	s.lastOp = OpInfo{Write: true, Op: cost.WriteMiss, HomeLocal: homeLocal, OwnerConsult: ownerHeld, Distant: distant}
+	if s.probe != nil {
+		s.emitMessage(n, b, cost.WriteMiss, msg)
+	}
 	s.noteInvalidations(e.copies.Len())
 
 	e.copies.ForEach(func(m memory.NodeID) {
+		if s.probe != nil {
+			s.emitInvalidation(m, b)
+		}
 		s.caches[m].Invalidate(b)
 		s.n.Invalidations++
 	})
@@ -451,6 +566,9 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	e.copies = e.copies.Add(n)
 	e.owner = n
 	e.dirty = true
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "I", New: "W", Migratory: e.cls.Migratory})
+	}
 }
 
 // writeHitUpgrade services a write hit on a PermRead line: an invalidation
@@ -464,6 +582,9 @@ func (s *System) writeHitUpgrade(n memory.NodeID, b memory.BlockID, line *cache.
 	if e.overflow {
 		distant = s.broadcastDistant(n, home)
 		s.n.Overflows++
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindOverflow, Node: n, Block: b})
+		}
 	}
 
 	wasMigratory := e.cls.Migratory
@@ -471,11 +592,17 @@ func (s *System) writeHitUpgrade(n memory.NodeID, b memory.BlockID, line *cache.
 	s.noteReclass(e, wasMigratory)
 
 	// The block is clean: PermRead copies are never dirty.
-	s.msgs.Charge(cost.WriteHit, homeLocal, false, distant)
+	msg := s.msgs.Charge(cost.WriteHit, homeLocal, false, distant)
 	s.lastOp = OpInfo{Write: true, Op: cost.WriteHit, HomeLocal: homeLocal, Distant: distant}
+	if s.probe != nil {
+		s.emitMessage(n, b, cost.WriteHit, msg)
+	}
 	s.noteInvalidations(others.Len())
 
 	others.ForEach(func(m memory.NodeID) {
+		if s.probe != nil {
+			s.emitInvalidation(m, b)
+		}
 		s.caches[m].Invalidate(b)
 		s.n.Invalidations++
 	})
@@ -485,6 +612,9 @@ func (s *System) writeHitUpgrade(n memory.NodeID, b memory.BlockID, line *cache.
 	s.write(b, line)
 	e.owner = n
 	e.dirty = true
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "R", New: "W", Migratory: e.cls.Migratory})
+	}
 }
 
 // insert places a block in node n's cache, handling any replacement.
@@ -507,11 +637,21 @@ func (s *System) evict(n memory.NodeID, victim *cache.Line) {
 
 	if victim.Dirty {
 		s.n.WriteBacks++
-		s.msgs.Charge(cost.WriteBack, homeLocal, true, 0)
+		m := s.msgs.Charge(cost.WriteBack, homeLocal, true, 0)
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindWriteBack, Node: n, Block: b, Old: StateName(victim.State), New: "I"})
+			s.emitMessage(n, b, cost.WriteBack, m)
+		}
 	} else {
 		s.n.CleanDrops++
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindCleanDrop, Node: n, Block: b, Old: StateName(victim.State), New: "I"})
+		}
 		if !s.cfg.FreeDropNotifications {
-			s.msgs.Charge(cost.DropClean, homeLocal, false, 0)
+			m := s.msgs.Charge(cost.DropClean, homeLocal, false, 0)
+			if s.probe != nil {
+				s.emitMessage(n, b, cost.DropClean, m)
+			}
 		}
 	}
 	e.copies = e.copies.Remove(n)

@@ -1,0 +1,149 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+
+	"migratory/internal/core"
+	"migratory/internal/memory"
+	"migratory/internal/obs"
+	"migratory/internal/placement"
+	"migratory/internal/trace"
+)
+
+// migratoryTrace is the canonical hand-built migratory pattern: four nodes
+// read-then-write the same block in turn (steps 0..7).
+func migratoryTrace() []trace.Access {
+	var accs []trace.Access
+	for n := memory.NodeID(0); n < 4; n++ {
+		accs = append(accs,
+			trace.Access{Node: n, Kind: trace.Read, Addr: 0},
+			trace.Access{Node: n, Kind: trace.Write, Addr: 0},
+		)
+	}
+	return accs
+}
+
+// flipEvent is the compact form the golden test compares.
+type flipEvent struct {
+	Step     uint64
+	Kind     obs.Kind
+	Evidence int
+}
+
+func (f flipEvent) String() string {
+	return fmt.Sprintf("#%d %s ev=%d", f.Step, f.Kind, f.Evidence)
+}
+
+// TestGoldenClassificationFlips pins the exact classifier event sequence of
+// Figure 3 on the canonical migratory pattern: the conservative protocol
+// needs two migratory events (one below-threshold evidence bump, then the
+// classification), basic classifies on the first event, and conventional
+// and aggressive produce no flips at all (the former never classifies, the
+// latter is born classified and never tested negative by this pattern).
+func TestGoldenClassificationFlips(t *testing.T) {
+	classifierKinds := obs.KindSet(0).
+		Add(obs.KindEvidence).Add(obs.KindClassify).Add(obs.KindDeclassify)
+
+	want := map[string][]flipEvent{
+		// P1's write at step 3 invalidates P0's copy of a two-copy block
+		// (first migratory event, evidence 1 < 2); P2's write at step 5 is
+		// the second, crossing the hysteresis threshold.
+		"conservative": {
+			{Step: 3, Kind: obs.KindEvidence, Evidence: 1},
+			{Step: 5, Kind: obs.KindClassify, Evidence: 2},
+		},
+		// Basic classifies on the first migratory event.
+		"basic": {
+			{Step: 3, Kind: obs.KindClassify, Evidence: 1},
+		},
+		"conventional": nil,
+		"aggressive":   nil,
+	}
+	// Once classified, every subsequent read miss migrates. Aggressive
+	// starts classified and migrates from the first handoff.
+	wantMigrations := map[string]uint64{
+		"conventional": 0,
+		"conservative": 1, // P3's read at step 6
+		"basic":        2, // P2's and P3's reads at steps 4 and 6
+		"aggressive":   4, // every read, including P0's cold fill
+	}
+
+	for _, pol := range core.Policies() {
+		var got []flipEvent
+		probe := obs.FilterProbe{
+			Filter: obs.Filter{Kinds: classifierKinds},
+			Next: obs.FuncProbe(func(e obs.Event) {
+				got = append(got, flipEvent{Step: e.Step, Kind: e.Kind, Evidence: e.Evidence})
+			}),
+		}
+		sys, err := New(Config{
+			Nodes:     4,
+			Geometry:  memory.MustGeometry(16, 4096),
+			Policy:    pol,
+			Placement: placement.NewRoundRobin(4),
+			Probe:     probe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(migratoryTrace()); err != nil {
+			t.Fatal(err)
+		}
+		w := want[pol.Name]
+		if len(got) != len(w) {
+			t.Fatalf("%s: classifier events %v, want %v", pol.Name, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("%s: event %d = %v, want %v", pol.Name, i, got[i], w[i])
+			}
+		}
+		if n := sys.Counters().Migrations; n != wantMigrations[pol.Name] {
+			t.Errorf("%s: %d migrations, want %d", pol.Name, n, wantMigrations[pol.Name])
+		}
+	}
+}
+
+// TestMetricsReconcileWithCounters replays the migratory pattern and checks
+// that the MetricsProbe's per-event aggregates exactly reconstruct the
+// engine's own counters and message totals.
+func TestMetricsReconcileWithCounters(t *testing.T) {
+	for _, pol := range core.Policies() {
+		mp := &obs.MetricsProbe{}
+		sys, err := New(Config{
+			Nodes:     4,
+			Geometry:  memory.MustGeometry(16, 4096),
+			Policy:    pol,
+			Placement: placement.NewRoundRobin(4),
+			Probe:     mp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(migratoryTrace()); err != nil {
+			t.Fatal(err)
+		}
+		mp.Finish()
+		n := sys.Counters()
+		if got, want := mp.Msgs(), sys.Messages(); got != want {
+			t.Errorf("%s: probe msgs %+v != engine %+v", pol.Name, got, want)
+		}
+		if mp.Total.Hits != n.ReadHits+n.WriteHits {
+			t.Errorf("%s: probe hits %d != counters %d", pol.Name, mp.Total.Hits, n.ReadHits+n.WriteHits)
+		}
+		if mp.Total.Migrations != n.Migrations ||
+			mp.Total.Replications != n.Replications ||
+			mp.Total.Invalidations != n.Invalidations ||
+			mp.Total.WriteBacks != n.WriteBacks ||
+			mp.Total.CleanDrops != n.CleanDrops {
+			t.Errorf("%s: probe %+v != counters %+v", pol.Name, mp.Total, n)
+		}
+		if mp.ByKind[obs.KindClassify] != n.Classifications ||
+			mp.ByKind[obs.KindDeclassify] != n.Declassified {
+			t.Errorf("%s: classify/declassify %d/%d != counters %d/%d", pol.Name,
+				mp.ByKind[obs.KindClassify], mp.ByKind[obs.KindDeclassify],
+				n.Classifications, n.Declassified)
+		}
+	}
+}

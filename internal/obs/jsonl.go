@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONLProbe streams every event as one JSON object per line. Encoding is
+// hand-rolled over a reused scratch buffer — no reflection, no per-event
+// allocation — so a JSONL stream can be attached to full-length runs.
+//
+// Line schema (fields with zero values are omitted, except the stamp):
+//
+//	{"step":12,"kind":"classify","variant":"basic","node":3,"block":5,
+//	 "access":"write","addr":"0x50","old":"R","new":"W","op":"read miss",
+//	 "short":2,"data":1,"evidence":1,"migratory":true}
+//
+// Call Flush (and check its error) after the run; the probe itself cannot
+// report write errors from OnEvent, so the first error is sticky and
+// returned by Flush.
+type JSONLProbe struct {
+	w       *bufio.Writer
+	scratch []byte
+	err     error
+}
+
+// NewJSONLProbe returns a probe streaming to w.
+func NewJSONLProbe(w io.Writer) *JSONLProbe {
+	return &JSONLProbe{w: bufio.NewWriter(w), scratch: make([]byte, 0, 256)}
+}
+
+// OnEvent implements Probe.
+func (p *JSONLProbe) OnEvent(e Event) {
+	if p.err != nil {
+		return
+	}
+	b := p.scratch[:0]
+	b = append(b, `{"step":`...)
+	b = strconv.AppendUint(b, e.Step, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","variant":"`...)
+	b = append(b, e.Variant...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"block":`...)
+	b = strconv.AppendUint(b, uint64(e.Block), 10)
+	b = append(b, `,"access":"`...)
+	b = append(b, e.Access.Kind.String()...)
+	b = append(b, `","addr":"0x`...)
+	b = strconv.AppendUint(b, uint64(e.Access.Addr), 16)
+	b = append(b, '"')
+	if e.Old != "" {
+		b = append(b, `,"old":"`...)
+		b = append(b, e.Old...)
+		b = append(b, '"')
+	}
+	if e.New != "" {
+		b = append(b, `,"new":"`...)
+		b = append(b, e.New...)
+		b = append(b, '"')
+	}
+	if e.Op != "" {
+		b = append(b, `,"op":"`...)
+		b = append(b, e.Op...)
+		b = append(b, '"')
+	}
+	if e.Short != 0 {
+		b = append(b, `,"short":`...)
+		b = strconv.AppendInt(b, int64(e.Short), 10)
+	}
+	if e.Data != 0 {
+		b = append(b, `,"data":`...)
+		b = strconv.AppendInt(b, int64(e.Data), 10)
+	}
+	if e.Evidence != 0 {
+		b = append(b, `,"evidence":`...)
+		b = strconv.AppendInt(b, int64(e.Evidence), 10)
+	}
+	if e.Migratory {
+		b = append(b, `,"migratory":true`...)
+	}
+	b = append(b, '}', '\n')
+	p.scratch = b
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (p *JSONLProbe) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

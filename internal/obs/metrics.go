@@ -1,0 +1,405 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"migratory/internal/cost"
+	"migratory/internal/memory"
+	"migratory/internal/stats"
+)
+
+// Histogram is a power-of-two-bucketed distribution of non-negative
+// integer samples. Bucket i counts values v with bits.Len64(v) == i, i.e.
+// bucket 0 holds zeros and bucket i>0 holds [2^(i-1), 2^i). The zero value
+// is an empty histogram.
+type Histogram struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	i := bits.Len64(v)
+	for len(h.Buckets) <= i {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[i]++
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Merge accumulates o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for len(h.Buckets) < len(o.Buckets) {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	for i, c := range o.Buckets {
+		h.Buckets[i] += c
+	}
+	if o.Count != 0 {
+		if h.Count == 0 || o.Min < h.Min {
+			h.Min = o.Min
+		}
+		if o.Max > h.Max {
+			h.Max = o.Max
+		}
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// bucketLabel renders bucket i's value range.
+func bucketLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	default:
+		return fmt.Sprintf("%d-%d", 1<<(i-1), 1<<i-1)
+	}
+}
+
+// Counters is the per-node and per-block tally of the event stream. Fields
+// count events of the corresponding kind; Short and Data accumulate the
+// message charges of KindMessage events.
+type Counters struct {
+	Events            uint64
+	Hits              uint64
+	Messages          uint64
+	Short             uint64
+	Data              uint64
+	Migrations        uint64
+	Replications      uint64
+	Invalidations     uint64
+	WriteBacks        uint64
+	CleanDrops        uint64
+	Classifications   uint64
+	Declassifications uint64
+	Overflows         uint64
+}
+
+func (c *Counters) add(o *Counters) {
+	c.Events += o.Events
+	c.Hits += o.Hits
+	c.Messages += o.Messages
+	c.Short += o.Short
+	c.Data += o.Data
+	c.Migrations += o.Migrations
+	c.Replications += o.Replications
+	c.Invalidations += o.Invalidations
+	c.WriteBacks += o.WriteBacks
+	c.CleanDrops += o.CleanDrops
+	c.Classifications += o.Classifications
+	c.Declassifications += o.Declassifications
+	c.Overflows += o.Overflows
+}
+
+// Msgs returns the accumulated message counts in Table 1's units.
+func (c *Counters) Msgs() cost.Msgs {
+	return cost.Msgs{Short: int(c.Short), Data: int(c.Data)}
+}
+
+func (c *Counters) observe(e Event) {
+	c.Events++
+	switch e.Kind {
+	case KindHit:
+		c.Hits++
+	case KindMessage:
+		c.Messages++
+		c.Short += uint64(e.Short)
+		c.Data += uint64(e.Data)
+	case KindMigration:
+		c.Migrations++
+	case KindReplication:
+		c.Replications++
+	case KindInvalidation:
+		c.Invalidations++
+	case KindWriteBack:
+		c.WriteBacks++
+	case KindCleanDrop:
+		c.CleanDrops++
+	case KindClassify:
+		c.Classifications++
+	case KindDeclassify:
+		c.Declassifications++
+	case KindOverflow:
+		c.Overflows++
+	}
+}
+
+// blockTrack is the per-block bookkeeping behind the histograms.
+type blockTrack struct {
+	Counters
+	seen        bool
+	firstNode   memory.NodeID
+	shared      bool
+	sharedStep  uint64
+	latencyDone bool
+	run         uint64 // current consecutive-migration run length
+}
+
+// BlockStat is one block's aggregated metrics, as returned by TopBlocks.
+type BlockStat struct {
+	Block memory.BlockID
+	Counters
+}
+
+// MetricsProbe aggregates the event stream into per-node and per-block
+// counters plus two distributions:
+//
+//   - MigrationRuns: lengths of consecutive-migration runs — how many times
+//     a block migrated before a replication or declassification ended the
+//     run (the payoff of a correct classification);
+//   - ClassifyLatency: accesses from a block's first sharing (the first
+//     event from a second node) to its first migratory classification — how
+//     long the detector took to reach the correct class.
+//
+// The zero value is ready for use. A MetricsProbe attached to one System
+// must not be shared across concurrently running systems; sweep drivers
+// attach one probe per cell and merge afterwards (Merge), which is
+// deterministic in merge order.
+type MetricsProbe struct {
+	// Variant records the protocol variant of the first event seen.
+	Variant string
+	// Total aggregates over all nodes and blocks.
+	Total Counters
+	// ByKind counts events per kind.
+	ByKind [numKinds]uint64
+	// MigrationRuns and ClassifyLatency are the two distributions above.
+	// Open migration runs are folded in by Finish.
+	MigrationRuns   Histogram
+	ClassifyLatency Histogram
+
+	nodes    []Counters
+	blocks   memory.BlockMap[blockTrack]
+	finished bool
+}
+
+// OnEvent implements Probe.
+func (m *MetricsProbe) OnEvent(e Event) {
+	if m.Variant == "" {
+		m.Variant = e.Variant
+	}
+	m.Total.observe(e)
+	m.ByKind[e.Kind]++
+	for int(e.Node) >= len(m.nodes) {
+		m.nodes = append(m.nodes, Counters{})
+	}
+	m.nodes[e.Node].observe(e)
+
+	b, _ := m.blocks.GetOrCreate(e.Block)
+	b.observe(e)
+	if !b.seen {
+		b.seen = true
+		b.firstNode = e.Node
+	} else if !b.shared && e.Node != b.firstNode {
+		b.shared = true
+		b.sharedStep = e.Step
+	}
+	switch e.Kind {
+	case KindMigration:
+		b.run++
+	case KindReplication, KindDeclassify:
+		if b.run > 0 {
+			m.MigrationRuns.Add(b.run)
+			b.run = 0
+		}
+	case KindClassify:
+		if b.shared && !b.latencyDone {
+			m.ClassifyLatency.Add(e.Step - b.sharedStep)
+			b.latencyDone = true
+		}
+	}
+}
+
+// Finish folds still-open migration runs into MigrationRuns. It is
+// idempotent; call it after the run completes and before reading the
+// histograms or merging.
+func (m *MetricsProbe) Finish() {
+	if m.finished {
+		return
+	}
+	m.finished = true
+	m.blocks.ForEach(func(_ memory.BlockID, b *blockTrack) {
+		if b.run > 0 {
+			m.MigrationRuns.Add(b.run)
+			b.run = 0
+		}
+	})
+}
+
+// Merge accumulates o into m, finishing both first. Merging the per-cell
+// probes of a sweep in paper (cell) order yields the same aggregate
+// regardless of how the cells were scheduled.
+func (m *MetricsProbe) Merge(o *MetricsProbe) {
+	m.Finish()
+	o.Finish()
+	if m.Variant == "" {
+		m.Variant = o.Variant
+	}
+	m.Total.add(&o.Total)
+	for i := range o.ByKind {
+		m.ByKind[i] += o.ByKind[i]
+	}
+	for len(m.nodes) < len(o.nodes) {
+		m.nodes = append(m.nodes, Counters{})
+	}
+	for i := range o.nodes {
+		m.nodes[i].add(&o.nodes[i])
+	}
+	o.blocks.ForEach(func(id memory.BlockID, ob *blockTrack) {
+		b, created := m.blocks.GetOrCreate(id)
+		b.Counters.add(&ob.Counters)
+		if created {
+			b.seen, b.firstNode = ob.seen, ob.firstNode
+		}
+		b.shared = b.shared || ob.shared
+		b.latencyDone = b.latencyDone || ob.latencyDone
+	})
+	m.MigrationRuns.Merge(&o.MigrationRuns)
+	m.ClassifyLatency.Merge(&o.ClassifyLatency)
+}
+
+// MergeMetrics merges the given probes (in order) into one aggregate.
+// Nil entries — cells the caller filtered out — are skipped.
+func MergeMetrics(probes ...*MetricsProbe) *MetricsProbe {
+	out := &MetricsProbe{}
+	for _, p := range probes {
+		if p != nil {
+			out.Merge(p)
+		}
+	}
+	return out
+}
+
+// Msgs returns the total message counts observed, which reconcile exactly
+// with the owning System's cost accounting (directory engine) or bus
+// transaction count (bus engine, as Short).
+func (m *MetricsProbe) Msgs() cost.Msgs { return m.Total.Msgs() }
+
+// Node returns node n's counters (zero if n emitted no events).
+func (m *MetricsProbe) Node(n memory.NodeID) Counters {
+	if int(n) < len(m.nodes) {
+		return m.nodes[n]
+	}
+	return Counters{}
+}
+
+// NodeCount returns the number of nodes with recorded counters.
+func (m *MetricsProbe) NodeCount() int { return len(m.nodes) }
+
+// BlockCount returns the number of distinct blocks observed.
+func (m *MetricsProbe) BlockCount() int { return m.blocks.Len() }
+
+// Block returns block b's counters.
+func (m *MetricsProbe) Block(b memory.BlockID) Counters {
+	if t := m.blocks.Get(b); t != nil {
+		return t.Counters
+	}
+	return Counters{}
+}
+
+// TopBlocks returns the n blocks with the most coherence messages
+// (Short+Data; bus transactions count as Short), most-expensive first,
+// ties broken by ascending block ID so the order is deterministic.
+func (m *MetricsProbe) TopBlocks(n int) []BlockStat {
+	all := make([]BlockStat, 0, m.blocks.Len())
+	m.blocks.ForEach(func(id memory.BlockID, t *blockTrack) {
+		all = append(all, BlockStat{Block: id, Counters: t.Counters})
+	})
+	sort.Slice(all, func(i, j int) bool {
+		mi, mj := all[i].Short+all[i].Data, all[j].Short+all[j].Data
+		if mi != mj {
+			return mi > mj
+		}
+		return all[i].Block < all[j].Block
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// RenderNodes renders the per-node counters as a table.
+func (m *MetricsProbe) RenderNodes() *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"node", "events", "hits", "short", "data", "migr", "repl", "inval", "wb", "class", "declass"},
+	}
+	for i := range m.nodes {
+		c := &m.nodes[i]
+		tab.Add(fmt.Sprintf("P%d", i),
+			fmt.Sprintf("%d", c.Events), fmt.Sprintf("%d", c.Hits),
+			fmt.Sprintf("%d", c.Short), fmt.Sprintf("%d", c.Data),
+			fmt.Sprintf("%d", c.Migrations), fmt.Sprintf("%d", c.Replications),
+			fmt.Sprintf("%d", c.Invalidations), fmt.Sprintf("%d", c.WriteBacks),
+			fmt.Sprintf("%d", c.Classifications), fmt.Sprintf("%d", c.Declassifications))
+	}
+	t := &m.Total
+	tab.Add("total",
+		fmt.Sprintf("%d", t.Events), fmt.Sprintf("%d", t.Hits),
+		fmt.Sprintf("%d", t.Short), fmt.Sprintf("%d", t.Data),
+		fmt.Sprintf("%d", t.Migrations), fmt.Sprintf("%d", t.Replications),
+		fmt.Sprintf("%d", t.Invalidations), fmt.Sprintf("%d", t.WriteBacks),
+		fmt.Sprintf("%d", t.Classifications), fmt.Sprintf("%d", t.Declassifications))
+	return tab
+}
+
+// RenderTopBlocks renders the n hottest blocks by coherence messages.
+func (m *MetricsProbe) RenderTopBlocks(n int) *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"block", "msgs", "short", "data", "migr", "repl", "inval", "class", "declass"},
+	}
+	for _, b := range m.TopBlocks(n) {
+		tab.Add(fmt.Sprintf("%d", b.Block),
+			fmt.Sprintf("%d", b.Short+b.Data),
+			fmt.Sprintf("%d", b.Short), fmt.Sprintf("%d", b.Data),
+			fmt.Sprintf("%d", b.Migrations), fmt.Sprintf("%d", b.Replications),
+			fmt.Sprintf("%d", b.Invalidations),
+			fmt.Sprintf("%d", b.Classifications), fmt.Sprintf("%d", b.Declassifications))
+	}
+	return tab
+}
+
+// RenderHistograms renders the migration-run-length and
+// classification-latency distributions. Call Finish first.
+func (m *MetricsProbe) RenderHistograms() *stats.Table {
+	tab := &stats.Table{
+		Header: []string{"distribution", "bucket", "count"},
+	}
+	render := func(name string, h *Histogram) {
+		if h.Count == 0 {
+			tab.Add(name, "(empty)", "0")
+			return
+		}
+		for i, c := range h.Buckets {
+			if c != 0 {
+				tab.Add(name, bucketLabel(i), fmt.Sprintf("%d", c))
+			}
+		}
+		tab.Add(name, "mean", fmt.Sprintf("%.2f", h.Mean()))
+		tab.Add(name, "min/max", fmt.Sprintf("%d/%d", h.Min, h.Max))
+	}
+	render("migration-run-length", &m.MigrationRuns)
+	render("classify-latency", &m.ClassifyLatency)
+	return tab
+}

@@ -1,0 +1,234 @@
+// Package obs is the observability layer of the simulators: a typed
+// coherence event stream emitted by the protocol engines, and a family of
+// composable probes that consume it — aggregating metrics, streaming JSONL,
+// or exporting Chrome trace_event files that open in Perfetto.
+//
+// The paper's entire argument rests on *when* the classifier flips a block
+// between migratory and other (Figure 3's hysteresis, Tables 2/3's message
+// reductions); the event stream makes every such flip, every state
+// transition, and every charged message individually visible instead of
+// only the end-of-run aggregates.
+//
+// Probing is strictly opt-in: engines hold a nil Probe by default and guard
+// every emission site with a nil check, so the uninstrumented hot path pays
+// nothing beyond that branch. Events are plain values built only when a
+// probe is attached; their string fields are shared constants, so emission
+// does not allocate.
+package obs
+
+import (
+	"fmt"
+
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+// Kind enumerates the coherence event types.
+type Kind uint8
+
+const (
+	// KindState: a cache line changed state without being invalidated
+	// (fill, downgrade, upgrade). Old/New carry the engine's state names;
+	// "I" is invalid (absent).
+	KindState Kind = iota
+	// KindEvidence: the classifier accumulated (or reset) migratory
+	// evidence without crossing the hysteresis threshold.
+	KindEvidence
+	// KindClassify: a block was classified migratory.
+	KindClassify
+	// KindDeclassify: a block lost its migratory classification.
+	KindDeclassify
+	// KindMigration: a read miss was served by migrating the block —
+	// handing the requester the sole, writable copy.
+	KindMigration
+	// KindReplication: a read miss was served by replicating the block.
+	KindReplication
+	// KindInvalidation: a remote cached copy was invalidated. Old carries
+	// the invalidated line's state; New is "I".
+	KindInvalidation
+	// KindWriteBack: a dirty line was replaced and written back.
+	KindWriteBack
+	// KindCleanDrop: a clean line was silently replaced (on the directory
+	// machine, with a notification to the home node).
+	KindCleanDrop
+	// KindMessage: inter-node messages were charged for one transaction
+	// (directory engine: Table 1 short/data counts; bus engine: one bus
+	// transaction, recorded as Short=1). Op names the operation class.
+	KindMessage
+	// KindOverflow: a limited directory entry overflowed and invalidations
+	// were broadcast.
+	KindOverflow
+	// KindHit: an access completed locally with no communication.
+	KindHit
+
+	numKinds = int(KindHit) + 1
+)
+
+// String names the kind (the names ParseKind accepts).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var kindNames = [...]string{
+	KindState:        "state",
+	KindEvidence:     "evidence",
+	KindClassify:     "classify",
+	KindDeclassify:   "declassify",
+	KindMigration:    "migration",
+	KindReplication:  "replication",
+	KindInvalidation: "invalidation",
+	KindWriteBack:    "writeback",
+	KindCleanDrop:    "cleandrop",
+	KindMessage:      "message",
+	KindOverflow:     "overflow",
+	KindHit:          "hit",
+}
+
+// ParseKind resolves a kind name as printed by Kind.String.
+func ParseKind(name string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", name)
+}
+
+// Kinds lists every event kind in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Event is one coherence event, stamped with the step index of the
+// triggering access, the node and block it concerns, and the protocol
+// variant that produced it. Fields beyond the stamp are kind-specific and
+// zero elsewhere.
+type Event struct {
+	// Step is the zero-based index of the triggering access in the run.
+	Step uint64
+	// Kind is the event type.
+	Kind Kind
+	// Node is the node the event concerns: the requester for misses,
+	// migrations, and classifier events; the victim's holder for
+	// invalidations, write-backs, and drops.
+	Node memory.NodeID
+	// Block is the cache block concerned.
+	Block memory.BlockID
+	// Variant is the protocol variant name ("basic", "adaptive", ...).
+	Variant string
+	// Access is the shared-memory reference that triggered the event.
+	Access trace.Access
+	// Old and New are line state names for KindState, KindInvalidation,
+	// KindWriteBack, and KindCleanDrop ("I" = invalid).
+	Old, New string
+	// Op names the operation class for KindMessage ("read miss", ...).
+	Op string
+	// Short and Data are the messages charged (KindMessage).
+	Short, Data int
+	// Evidence is the classifier's hysteresis counter after the event
+	// (KindEvidence, KindClassify, KindDeclassify).
+	Evidence int
+	// Migratory is the block's classification after the event.
+	Migratory bool
+}
+
+// String renders the event as one diagnostic line, e.g.
+//
+//	#12 basic P3 classify blk=5 evidence=1 migratory (P3 write 0x50)
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s P%d %s blk=%d", e.Step, e.Variant, e.Node, e.Kind, e.Block)
+	if e.Old != "" || e.New != "" {
+		s += fmt.Sprintf(" %s->%s", e.Old, e.New)
+	}
+	if e.Op != "" {
+		s += fmt.Sprintf(" op=%q", e.Op)
+	}
+	if e.Kind == KindMessage {
+		s += fmt.Sprintf(" short=%d data=%d", e.Short, e.Data)
+	}
+	if e.Kind == KindEvidence || e.Kind == KindClassify || e.Kind == KindDeclassify {
+		s += fmt.Sprintf(" evidence=%d", e.Evidence)
+	}
+	if e.Migratory {
+		s += " migratory"
+	}
+	return s + fmt.Sprintf(" (%s)", e.Access)
+}
+
+// Probe consumes coherence events. Implementations attached to a single
+// System are invoked synchronously from the simulation loop and need not be
+// safe for concurrent use; sweep drivers attach one probe per cell.
+type Probe interface {
+	OnEvent(Event)
+}
+
+// FuncProbe adapts a function to the Probe interface.
+type FuncProbe func(Event)
+
+// OnEvent implements Probe.
+func (f FuncProbe) OnEvent(e Event) { f(e) }
+
+// MultiProbe fans every event out to each probe in order.
+type MultiProbe []Probe
+
+// OnEvent implements Probe.
+func (m MultiProbe) OnEvent(e Event) {
+	for _, p := range m {
+		p.OnEvent(e)
+	}
+}
+
+// KindSet is a set of event kinds. The zero value is the empty set, which
+// Filter treats as "all kinds".
+type KindSet uint32
+
+// Add returns s with k added.
+func (s KindSet) Add(k Kind) KindSet { return s | 1<<k }
+
+// Has reports whether k is in the set.
+func (s KindSet) Has(k Kind) bool { return s&(1<<k) != 0 }
+
+// Filter selects a subset of the event stream. Zero-valued fields match
+// everything, so the zero Filter passes every event.
+type Filter struct {
+	// Kinds restricts the event kinds (zero = all).
+	Kinds KindSet
+	// Blocks restricts to the given blocks (nil = all).
+	Blocks map[memory.BlockID]bool
+	// Nodes restricts to events concerning the given nodes (nil = all).
+	Nodes map[memory.NodeID]bool
+}
+
+// Match reports whether the event passes the filter.
+func (f Filter) Match(e Event) bool {
+	if f.Kinds != 0 && !f.Kinds.Has(e.Kind) {
+		return false
+	}
+	if f.Blocks != nil && !f.Blocks[e.Block] {
+		return false
+	}
+	if f.Nodes != nil && !f.Nodes[e.Node] {
+		return false
+	}
+	return true
+}
+
+// FilterProbe forwards matching events to Next.
+type FilterProbe struct {
+	Filter Filter
+	Next   Probe
+}
+
+// OnEvent implements Probe.
+func (p FilterProbe) OnEvent(e Event) {
+	if p.Filter.Match(e) {
+		p.Next.OnEvent(e)
+	}
+}

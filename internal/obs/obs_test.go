@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"migratory/internal/memory"
+	"migratory/internal/trace"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v -> %v", k, got)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted a bogus name")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Step: 12, Kind: KindClassify, Node: 3, Block: 5, Variant: "basic",
+		Access:   trace.Access{Node: 3, Kind: trace.Write, Addr: 0x50},
+		Evidence: 1, Migratory: true,
+	}
+	want := "#12 basic P3 classify blk=5 evidence=1 migratory (P3 write 0x50)"
+	if got := e.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestMultiProbeFansOut(t *testing.T) {
+	var a, b int
+	m := MultiProbe{
+		FuncProbe(func(Event) { a++ }),
+		FuncProbe(func(Event) { b++ }),
+	}
+	m.OnEvent(Event{})
+	m.OnEvent(Event{})
+	if a != 2 || b != 2 {
+		t.Fatalf("fan-out counts %d/%d", a, b)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	zero := Filter{}
+	if !zero.Match(Event{Kind: KindMigration, Node: 7, Block: 9}) {
+		t.Fatal("zero filter rejected an event")
+	}
+	f := Filter{
+		Kinds:  KindSet(0).Add(KindClassify).Add(KindMigration),
+		Blocks: map[memory.BlockID]bool{5: true},
+		Nodes:  map[memory.NodeID]bool{3: true},
+	}
+	cases := []struct {
+		e    Event
+		want bool
+	}{
+		{Event{Kind: KindClassify, Node: 3, Block: 5}, true},
+		{Event{Kind: KindMigration, Node: 3, Block: 5}, true},
+		{Event{Kind: KindHit, Node: 3, Block: 5}, false},
+		{Event{Kind: KindClassify, Node: 2, Block: 5}, false},
+		{Event{Kind: KindClassify, Node: 3, Block: 6}, false},
+	}
+	for i, c := range cases {
+		if got := f.Match(c.e); got != c.want {
+			t.Errorf("case %d: Match = %v, want %v", i, got, c.want)
+		}
+	}
+	n := 0
+	p := FilterProbe{Filter: f, Next: FuncProbe(func(Event) { n++ })}
+	for _, c := range cases {
+		p.OnEvent(c.e)
+	}
+	if n != 2 {
+		t.Fatalf("FilterProbe passed %d events, want 2", n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean != 0")
+	}
+	for _, v := range []uint64{0, 1, 1, 2, 3, 4, 7, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count != 9 || h.Sum != 126 || h.Min != 0 || h.Max != 100 {
+		t.Fatalf("histogram %+v", h)
+	}
+	// Buckets: len(0)=0 -> b0; 1 -> b1; 2,3 -> b2; 4..7 -> b3; 8 -> b4; 100 -> b7.
+	wantBuckets := []uint64{1, 2, 2, 2, 1, 0, 0, 1}
+	if len(h.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets %v", h.Buckets)
+	}
+	for i, w := range wantBuckets {
+		if h.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, h.Buckets[i], w, h.Buckets)
+		}
+	}
+
+	var a, b Histogram
+	a.Add(1)
+	a.Add(200)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count != 3 || a.Sum != 204 || a.Min != 1 || a.Max != 200 {
+		t.Fatalf("merged %+v", a)
+	}
+	var empty Histogram
+	empty.Merge(&a)
+	if empty.Count != 3 || empty.Min != 1 {
+		t.Fatalf("merge into empty %+v", empty)
+	}
+}
+
+// events replays a tiny synthetic stream: two blocks, two nodes, with a
+// migration run, a classification, and messages.
+func sampleEvents() []Event {
+	acc := func(n memory.NodeID) trace.Access {
+		return trace.Access{Node: n, Kind: trace.Read, Addr: 0x10}
+	}
+	return []Event{
+		{Step: 0, Kind: KindMessage, Node: 0, Block: 1, Variant: "basic", Op: "read miss", Short: 1, Data: 1, Access: acc(0)},
+		{Step: 1, Kind: KindHit, Node: 0, Block: 1, Variant: "basic", Access: acc(0)},
+		{Step: 2, Kind: KindMessage, Node: 1, Block: 1, Variant: "basic", Op: "write miss", Short: 2, Access: acc(1)},
+		{Step: 3, Kind: KindClassify, Node: 1, Block: 1, Variant: "basic", Evidence: 1, Migratory: true, Access: acc(1)},
+		{Step: 4, Kind: KindMigration, Node: 0, Block: 1, Variant: "basic", Migratory: true, Access: acc(0)},
+		{Step: 5, Kind: KindMigration, Node: 1, Block: 1, Variant: "basic", Migratory: true, Access: acc(1)},
+		{Step: 6, Kind: KindDeclassify, Node: 1, Block: 1, Variant: "basic", Access: acc(1)},
+		{Step: 7, Kind: KindMessage, Node: 1, Block: 2, Variant: "basic", Op: "read miss", Short: 1, Access: acc(1)},
+	}
+}
+
+func TestMetricsProbe(t *testing.T) {
+	m := &MetricsProbe{}
+	for _, e := range sampleEvents() {
+		m.OnEvent(e)
+	}
+	m.Finish()
+
+	if m.Variant != "basic" {
+		t.Fatalf("variant %q", m.Variant)
+	}
+	if m.Total.Events != 8 || m.Total.Short != 4 || m.Total.Data != 1 || m.Total.Hits != 1 {
+		t.Fatalf("totals %+v", m.Total)
+	}
+	if m.Msgs().Short != 4 || m.Msgs().Data != 1 {
+		t.Fatalf("msgs %+v", m.Msgs())
+	}
+	if m.NodeCount() != 2 || m.BlockCount() != 2 {
+		t.Fatalf("nodes %d blocks %d", m.NodeCount(), m.BlockCount())
+	}
+	if n0 := m.Node(0); n0.Events != 3 || n0.Migrations != 1 {
+		t.Fatalf("node 0 %+v", n0)
+	}
+	// Block 1 first seen from node 0, shared at step 2, classified at step
+	// 3: latency 1.
+	if m.ClassifyLatency.Count != 1 || m.ClassifyLatency.Sum != 1 {
+		t.Fatalf("latency %+v", m.ClassifyLatency)
+	}
+	// The two migrations form one run, flushed by the declassification.
+	if m.MigrationRuns.Count != 1 || m.MigrationRuns.Sum != 2 {
+		t.Fatalf("runs %+v", m.MigrationRuns)
+	}
+	top := m.TopBlocks(10)
+	if len(top) != 2 || top[0].Block != 1 || top[1].Block != 2 {
+		t.Fatalf("top blocks %+v", top)
+	}
+	if top[0].Short+top[0].Data != 4 {
+		t.Fatalf("hottest block msgs %d", top[0].Short+top[0].Data)
+	}
+	if got := m.TopBlocks(1); len(got) != 1 {
+		t.Fatalf("TopBlocks(1) returned %d", len(got))
+	}
+
+	// Render methods must not panic and must mention every node.
+	if s := m.RenderNodes().String(); !strings.Contains(s, "P1") || !strings.Contains(s, "total") {
+		t.Fatalf("RenderNodes:\n%s", s)
+	}
+	if s := m.RenderTopBlocks(5).String(); !strings.Contains(s, "1") {
+		t.Fatalf("RenderTopBlocks:\n%s", s)
+	}
+	if s := m.RenderHistograms().String(); !strings.Contains(s, "migration-run-length") {
+		t.Fatalf("RenderHistograms:\n%s", s)
+	}
+}
+
+// TestMetricsMergeMatchesSequential splits the sample stream across
+// per-cell probes and checks that merging them (in order) equals one
+// sequential probe, and that merge order over disjoint cells does not
+// change the aggregate counters.
+func TestMetricsMergeMatchesSequential(t *testing.T) {
+	evs := sampleEvents()
+	seq := &MetricsProbe{}
+	for _, e := range evs {
+		seq.OnEvent(e)
+	}
+	seq.Finish()
+
+	a, b := &MetricsProbe{}, &MetricsProbe{}
+	for i, e := range evs {
+		if i < 4 {
+			a.OnEvent(e)
+		} else {
+			b.OnEvent(e)
+		}
+	}
+	merged := MergeMetrics(a, nil, b)
+	if merged.Total != seq.Total {
+		t.Fatalf("merged totals %+v != sequential %+v", merged.Total, seq.Total)
+	}
+	if merged.ByKind != seq.ByKind {
+		t.Fatalf("merged byKind %v != %v", merged.ByKind, seq.ByKind)
+	}
+	for n := memory.NodeID(0); int(n) < seq.NodeCount(); n++ {
+		if merged.Node(n) != seq.Node(n) {
+			t.Fatalf("node %d: %+v != %+v", n, merged.Node(n), seq.Node(n))
+		}
+	}
+	if merged.Block(1) != seq.Block(1) || merged.Block(2) != seq.Block(2) {
+		t.Fatal("per-block counters diverge after merge")
+	}
+	// Note: the split cut the migration run in half, so the run histogram
+	// legitimately differs (two runs of 1 instead of one run of 2) — that
+	// is why sweep cells carry whole runs, not arbitrary splits. Counter
+	// totals above must still match exactly.
+	if merged.MigrationRuns.Sum != seq.MigrationRuns.Sum {
+		t.Fatalf("run totals %d != %d", merged.MigrationRuns.Sum, seq.MigrationRuns.Sum)
+	}
+}
+
+func TestJSONLProbe(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewJSONLProbe(&buf)
+	for _, e := range sampleEvents() {
+		p.OnEvent(e)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sampleEvents()) {
+		t.Fatalf("%d lines, want %d", len(lines), len(sampleEvents()))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if m["variant"] != "basic" {
+			t.Fatalf("line %d variant %v", i, m["variant"])
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["kind"] != "message" || first["short"] != float64(1) || first["op"] != "read miss" {
+		t.Fatalf("first line %v", first)
+	}
+	if _, ok := first["migratory"]; ok {
+		t.Fatal("zero field not omitted")
+	}
+}
+
+func TestTraceEventProbe(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewTraceEventProbe(&buf)
+	for _, e := range sampleEvents() {
+		p.OnEvent(e)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid trace_event JSON: %v\n%s", err, buf.String())
+	}
+	var meta, instants, counters int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "i":
+			instants++
+		case "C":
+			counters++
+		}
+	}
+	// 1 process_name + 2 thread_name metadata records; every sample event
+	// is an instant; each of the 3 messages adds a counter sample.
+	if meta != 3 || instants != len(sampleEvents()) || counters != 3 {
+		t.Fatalf("meta=%d instants=%d counters=%d", meta, instants, counters)
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"migratory/internal/memory"
+)
+
+// TraceEventProbe exports the event stream in Chrome's trace_event JSON
+// format, so a run opens directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. The mapping:
+//
+//   - process = protocol variant, thread = node (named via "M" metadata);
+//   - every coherence event is a thread-scoped instant ("ph":"i") at
+//     ts = step index (microsecond units stand in for access steps);
+//   - cumulative short/data message counts are emitted as counter events
+//     ("ph":"C") on each KindMessage, graphing traffic over the run.
+//
+// Call Close after the run to write the closing bracket and flush.
+type TraceEventProbe struct {
+	w       *bufio.Writer
+	scratch []byte
+	err     error
+	first   bool
+	closed  bool
+
+	pids      map[string]int
+	namedTids map[int64]bool
+	cumShort  uint64
+	cumData   uint64
+}
+
+// NewTraceEventProbe returns a probe streaming trace_event JSON to w.
+func NewTraceEventProbe(w io.Writer) *TraceEventProbe {
+	p := &TraceEventProbe{
+		w:         bufio.NewWriter(w),
+		scratch:   make([]byte, 0, 256),
+		first:     true,
+		pids:      make(map[string]int),
+		namedTids: make(map[int64]bool),
+	}
+	p.raw(`{"traceEvents":[`)
+	return p
+}
+
+func (p *TraceEventProbe) raw(s string) {
+	if p.err != nil {
+		return
+	}
+	if _, err := p.w.WriteString(s); err != nil {
+		p.err = err
+	}
+}
+
+func (p *TraceEventProbe) emit(b []byte) {
+	if p.err != nil {
+		return
+	}
+	if !p.first {
+		if err := p.w.WriteByte(','); err != nil {
+			p.err = err
+			return
+		}
+	}
+	p.first = false
+	if _, err := p.w.Write(b); err != nil {
+		p.err = err
+	}
+}
+
+// pid assigns a stable process ID per variant, emitting the process_name
+// metadata record on first sight.
+func (p *TraceEventProbe) pid(variant string) int {
+	id, ok := p.pids[variant]
+	if !ok {
+		id = len(p.pids) + 1
+		p.pids[variant] = id
+		b := p.scratch[:0]
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, `,"args":{"name":"`...)
+		b = append(b, variant...)
+		b = append(b, `"}}`...)
+		p.scratch = b
+		p.emit(b)
+	}
+	return id
+}
+
+// tid emits the thread_name metadata record the first time a (pid, node)
+// pair appears.
+func (p *TraceEventProbe) tid(pid int, node memory.NodeID) int {
+	key := int64(pid)<<32 | int64(node)
+	if !p.namedTids[key] {
+		p.namedTids[key] = true
+		b := p.scratch[:0]
+		b = append(b, `{"name":"thread_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(node), 10)
+		b = append(b, `,"args":{"name":"P`...)
+		b = strconv.AppendInt(b, int64(node), 10)
+		b = append(b, `"}}`...)
+		p.scratch = b
+		p.emit(b)
+	}
+	return int(node)
+}
+
+// OnEvent implements Probe.
+func (p *TraceEventProbe) OnEvent(e Event) {
+	if p.err != nil || p.closed {
+		return
+	}
+	pid := p.pid(e.Variant)
+	tid := p.tid(pid, e.Node)
+
+	b := p.scratch[:0]
+	b = append(b, `{"name":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","cat":"coherence","ph":"i","s":"t","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendUint(b, e.Step, 10)
+	b = append(b, `,"args":{"block":`...)
+	b = strconv.AppendUint(b, uint64(e.Block), 10)
+	b = append(b, `,"access":"`...)
+	b = append(b, e.Access.Kind.String()...)
+	b = append(b, ` 0x`...)
+	b = strconv.AppendUint(b, uint64(e.Access.Addr), 16)
+	b = append(b, '"')
+	if e.Old != "" || e.New != "" {
+		b = append(b, `,"transition":"`...)
+		b = append(b, e.Old...)
+		b = append(b, "->"...)
+		b = append(b, e.New...)
+		b = append(b, '"')
+	}
+	if e.Op != "" {
+		b = append(b, `,"op":"`...)
+		b = append(b, e.Op...)
+		b = append(b, '"')
+	}
+	if e.Kind == KindEvidence || e.Kind == KindClassify || e.Kind == KindDeclassify {
+		b = append(b, `,"evidence":`...)
+		b = strconv.AppendInt(b, int64(e.Evidence), 10)
+	}
+	if e.Migratory {
+		b = append(b, `,"migratory":true`...)
+	}
+	b = append(b, `}}`...)
+	p.scratch = b
+	p.emit(b)
+
+	if e.Kind == KindMessage {
+		p.cumShort += uint64(e.Short)
+		p.cumData += uint64(e.Data)
+		b := p.scratch[:0]
+		b = append(b, `{"name":"messages","ph":"C","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"ts":`...)
+		b = strconv.AppendUint(b, e.Step, 10)
+		b = append(b, `,"args":{"short":`...)
+		b = strconv.AppendUint(b, p.cumShort, 10)
+		b = append(b, `,"data":`...)
+		b = strconv.AppendUint(b, p.cumData, 10)
+		b = append(b, `}}`...)
+		p.scratch = b
+		p.emit(b)
+	}
+}
+
+// Close writes the closing bracket, flushes, and returns the first error
+// encountered. The probe drops any events after Close.
+func (p *TraceEventProbe) Close() error {
+	if !p.closed {
+		p.closed = true
+		p.raw(`]}`)
+		p.raw("\n")
+	}
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"migratory/internal/memory"
+	"migratory/internal/obs"
+	"migratory/internal/snoop"
+)
+
+// metricsFactory returns an Options.Probes factory that hands every cell a
+// fresh MetricsProbe and (under lock) records it, so the test can inspect
+// the probes afterwards. The factory itself must be concurrency-safe.
+func metricsFactory() (func(app, variant string, cacheBytes, blockSize int) obs.Probe, func() []*obs.MetricsProbe) {
+	var mu sync.Mutex
+	var made []*obs.MetricsProbe
+	factory := func(app, variant string, cacheBytes, blockSize int) obs.Probe {
+		mp := &obs.MetricsProbe{}
+		mu.Lock()
+		made = append(made, mp)
+		mu.Unlock()
+		return mp
+	}
+	return factory, func() []*obs.MetricsProbe {
+		mu.Lock()
+		defer mu.Unlock()
+		return made
+	}
+}
+
+// TestTable2MetricsReconcile is the ISSUE's acceptance criterion: on a
+// Table 2 run, every cell's MetricsProbe message totals must exactly equal
+// that cell's cost.Msgs aggregate, and the classifier event counts must
+// equal the engine's own counters.
+func TestTable2MetricsReconcile(t *testing.T) {
+	opts := testOpts("MP3D", "Water")
+	opts.Length = 30_000
+	factory, _ := metricsFactory()
+	opts.Probes = factory
+
+	sw, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for _, gv := range sw.GroupValues {
+		for _, row := range sw.Rows[gv] {
+			for _, c := range row.Cells {
+				mp, ok := c.Probe.(*obs.MetricsProbe)
+				if !ok {
+					t.Fatalf("%s/%s: cell probe is %T, want *obs.MetricsProbe", c.App, c.Policy.Name, c.Probe)
+				}
+				mp.Finish()
+				cells++
+				if got := mp.Msgs(); got != c.Msgs {
+					t.Errorf("%s/%s cache=%d: probe msgs %+v != cell msgs %+v",
+						c.App, c.Policy.Name, c.CacheBytes, got, c.Msgs)
+				}
+				if mp.Total.Hits != c.Counters.ReadHits+c.Counters.WriteHits {
+					t.Errorf("%s/%s: probe hits %d != counters %d",
+						c.App, c.Policy.Name, mp.Total.Hits, c.Counters.ReadHits+c.Counters.WriteHits)
+				}
+				if mp.Total.Migrations != c.Counters.Migrations ||
+					mp.Total.Invalidations != c.Counters.Invalidations ||
+					mp.Total.WriteBacks != c.Counters.WriteBacks ||
+					mp.ByKind[obs.KindClassify] != c.Counters.Classifications ||
+					mp.ByKind[obs.KindDeclassify] != c.Counters.Declassified {
+					t.Errorf("%s/%s: probe %+v does not reconcile with counters %+v",
+						c.App, c.Policy.Name, mp.Total, c.Counters)
+				}
+			}
+		}
+	}
+	if want := 2 * len(Table2CacheSizes) * 4; cells != want {
+		t.Fatalf("visited %d cells, want %d", cells, want)
+	}
+}
+
+// TestBusMetricsReconcile checks the same invariant on the snoop engine:
+// each bus transaction emits one short message event, so a cell probe's
+// Msgs().Short equals Counts.Total().
+func TestBusMetricsReconcile(t *testing.T) {
+	opts := testOpts("MP3D")
+	opts.Length = 30_000
+	factory, _ := metricsFactory()
+	opts.Probes = factory
+
+	sw, err := RunBus(opts, []int{64 << 10}, []snoop.Protocol{snoop.MESI, snoop.Adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cb := range sw.CacheSizes {
+		for _, row := range sw.Rows[cb] {
+			for _, c := range row.Cells {
+				mp, ok := c.Probe.(*obs.MetricsProbe)
+				if !ok {
+					t.Fatalf("%s/%s: cell probe is %T", c.App, c.Protocol, c.Probe)
+				}
+				mp.Finish()
+				if got, want := uint64(mp.Msgs().Short), uint64(c.Counts.Total()); got != want {
+					t.Errorf("%s/%s: probe short msgs %d != bus txns %d", c.App, c.Protocol, got, want)
+				}
+				if mp.Msgs().Data != 0 {
+					t.Errorf("%s/%s: bus probe counted %d data msgs, want 0", c.App, c.Protocol, mp.Msgs().Data)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeParallelMergeDeterminism runs the same probed sweep sequentially
+// and with a worker pool, merges each run's per-cell probes in paper order,
+// and requires identical aggregates: probes never make a parallel sweep
+// diverge from a sequential one.
+func TestProbeParallelMergeDeterminism(t *testing.T) {
+	run := func(parallelism int) *obs.MetricsProbe {
+		opts := testOpts("MP3D", "Cholesky")
+		opts.Length = 20_000
+		opts.Parallelism = parallelism
+		factory, _ := metricsFactory()
+		opts.Probes = factory
+		sw, err := Table2(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Assemble in paper order from the sweep itself (not factory call
+		// order, which is scheduling-dependent under parallelism).
+		var probes []*obs.MetricsProbe
+		for _, gv := range sw.GroupValues {
+			for _, row := range sw.Rows[gv] {
+				for _, c := range row.Cells {
+					probes = append(probes, c.Probe.(*obs.MetricsProbe))
+				}
+			}
+		}
+		return obs.MergeMetrics(probes...)
+	}
+
+	seq := run(1)
+	par := run(8)
+	if par.Total != seq.Total {
+		t.Fatalf("parallel totals %+v != sequential %+v", par.Total, seq.Total)
+	}
+	if par.ByKind != seq.ByKind {
+		t.Fatalf("parallel byKind %v != sequential %v", par.ByKind, seq.ByKind)
+	}
+	if par.NodeCount() != seq.NodeCount() || par.BlockCount() != seq.BlockCount() {
+		t.Fatalf("parallel shape %d/%d != sequential %d/%d",
+			par.NodeCount(), par.BlockCount(), seq.NodeCount(), seq.BlockCount())
+	}
+	for n := 0; n < seq.NodeCount(); n++ {
+		if par.Node(memory.NodeID(n)) != seq.Node(memory.NodeID(n)) {
+			t.Fatalf("node %d counters diverge", n)
+		}
+	}
+	if !reflect.DeepEqual(par.MigrationRuns, seq.MigrationRuns) {
+		t.Fatalf("parallel runs %+v != sequential %+v", par.MigrationRuns, seq.MigrationRuns)
+	}
+	if !reflect.DeepEqual(par.ClassifyLatency, seq.ClassifyLatency) {
+		t.Fatalf("parallel latency %+v != sequential %+v", par.ClassifyLatency, seq.ClassifyLatency)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"migratory/internal/cost"
 	"migratory/internal/directory"
 	"migratory/internal/memory"
+	"migratory/internal/obs"
 	"migratory/internal/placement"
 	"migratory/internal/snoop"
 	"migratory/internal/stats"
@@ -43,6 +44,18 @@ type Options struct {
 	// read-only trace, so results are deterministic — bit-identical to a
 	// sequential run — regardless of the setting or the scheduling.
 	Parallelism int
+	// Probes, when non-nil, is called once per simulation cell to build the
+	// probe that cell's System is instrumented with (a nil return leaves the
+	// cell unprobed). Cells run concurrently on worker goroutines under
+	// Parallelism > 1, so the factory must be safe for concurrent calls and
+	// must return a distinct probe per cell — probes themselves are invoked
+	// only from their own cell's goroutine. Each cell's probe is recorded on
+	// the resulting Cell/BusCell, and cells are assembled in paper order, so
+	// per-cell MetricsProbes can be merged deterministically afterwards
+	// (obs.MergeMetrics), matching a sequential run regardless of
+	// scheduling. variant is the policy or bus-protocol name; blockSize is
+	// 16 for bus cells.
+	Probes func(app, variant string, cacheBytes, blockSize int) obs.Probe
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +139,8 @@ type Cell struct {
 	BlockSize  int
 	Msgs       cost.Msgs
 	Counters   directory.Counters
+	// Probe is the probe Options.Probes built for this cell (nil if none).
+	Probe obs.Probe
 }
 
 // Reduction returns the percentage total-message reduction of this cell
@@ -140,12 +155,17 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 	if err != nil {
 		return Cell{}, err
 	}
+	var probe obs.Probe
+	if opts.Probes != nil {
+		probe = opts.Probes(app.Name, policy.Name, cacheBytes, blockSize)
+	}
 	sys, err := directory.New(directory.Config{
 		Nodes:      opts.Nodes,
 		Geometry:   geom,
 		CacheBytes: cacheBytes,
 		Policy:     policy,
 		Placement:  app.Placement,
+		Probe:      probe,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -160,6 +180,7 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 		BlockSize:  blockSize,
 		Msgs:       sys.Messages(),
 		Counters:   sys.Counters(),
+		Probe:      probe,
 	}, nil
 }
 
@@ -333,6 +354,8 @@ type BusCell struct {
 	Protocol   snoop.Protocol
 	CacheBytes int
 	Counts     snoop.Counts
+	// Probe is the probe Options.Probes built for this cell (nil if none).
+	Probe obs.Probe
 }
 
 // BusRow groups the protocols for one app and cache size.
@@ -379,11 +402,16 @@ func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSwe
 		app := apps[i/(nCaches*nProts)]
 		cb := cacheSizes[(i/nProts)%nCaches]
 		p := protocols[i%nProts]
+		var probe obs.Probe
+		if opts.Probes != nil {
+			probe = opts.Probes(app.Name, p.String(), cb, 16)
+		}
 		sys, err := snoop.New(snoop.Config{
 			Nodes:      opts.Nodes,
 			Geometry:   geom,
 			CacheBytes: cb,
 			Protocol:   p,
+			Probe:      probe,
 		})
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
@@ -391,7 +419,7 @@ func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSwe
 		if err := sys.Run(app.Trace); err != nil {
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
-		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts()}
+		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts(), Probe: probe}
 		return nil
 	})
 	if err != nil {

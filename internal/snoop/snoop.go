@@ -15,6 +15,7 @@ import (
 
 	"migratory/internal/cache"
 	"migratory/internal/memory"
+	"migratory/internal/obs"
 	"migratory/internal/trace"
 )
 
@@ -173,6 +174,11 @@ type Config struct {
 	Hysteresis int
 	// CheckCoherence verifies reads observe the latest write.
 	CheckCoherence bool
+	// Probe, when non-nil, receives a typed event for every coherence
+	// action (internal/obs). Bus transactions are reported as KindMessage
+	// events with Short=1. nil (the default) costs nothing beyond a branch
+	// at each emission site.
+	Probe obs.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +227,37 @@ type System struct {
 	// Extra visibility counters.
 	readHits, writeHits uint64
 	migrations          uint64 // read misses served by an MD migration
+
+	// probe mirrors cfg.Probe; accesses stamps events with a step index and
+	// cur holds the access being serviced (cur maintained only when probe is
+	// non-nil).
+	probe    obs.Probe
+	accesses uint64
+	cur      trace.Access
+}
+
+// emit stamps and delivers one event; callers guard with s.probe != nil.
+func (s *System) emit(e obs.Event) {
+	e.Step = s.accesses - 1
+	e.Variant = s.cfg.Protocol.String()
+	e.Access = s.cur
+	s.probe.OnEvent(e)
+}
+
+// emitBus reports one bus transaction as a message event (Short=1: the bus
+// has no short/data distinction; §4.3's cost models weight Counts instead).
+func (s *System) emitBus(n memory.NodeID, b memory.BlockID, op string) {
+	s.emit(obs.Event{Kind: obs.KindMessage, Node: n, Block: b, Op: op, Short: 1})
+}
+
+// emitEvidence reports a hysteresis-counter bump, as a classification flip
+// when it crossed the threshold.
+func (s *System) emitEvidence(n memory.NodeID, b memory.BlockID, evidence uint8, classified bool) {
+	k := obs.KindEvidence
+	if classified {
+		k = obs.KindClassify
+	}
+	s.emit(obs.Event{Kind: k, Node: n, Block: b, Evidence: int(evidence), Migratory: classified})
 }
 
 // New builds a System.
@@ -229,7 +266,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes)}
+	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes), probe: cfg.Probe}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
 			SizeBytes: cfg.CacheBytes,
@@ -297,6 +334,10 @@ func (s *System) Access(a trace.Access) error {
 	if int(a.Node) >= s.cfg.Nodes {
 		return fmt.Errorf("snoop: node %d out of range (%d nodes)", a.Node, s.cfg.Nodes)
 	}
+	s.accesses++
+	if s.probe != nil {
+		s.cur = a
+	}
 	b := s.cfg.Geometry.Block(a.Addr)
 	line := s.caches[a.Node].Lookup(b)
 
@@ -308,6 +349,9 @@ func (s *System) Access(a trace.Access) error {
 				// update-once self-invalidation counter resets.
 				line.Aux = 0
 			}
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindHit, Node: a.Node, Block: b})
+			}
 			return s.checkRead(b, line)
 		}
 		s.readMiss(a.Node, b)
@@ -318,18 +362,29 @@ func (s *System) Access(a trace.Access) error {
 		switch line.State {
 		case StateD, StateMD:
 			s.writeHits++
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindHit, Node: a.Node, Block: b})
+			}
 			s.write(b, line)
 			return nil
 		case StateE:
 			// E -> D with no bus transaction (Figure 2).
 			s.writeHits++
 			line.State = StateD
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindHit, Node: a.Node, Block: b})
+				s.emit(obs.Event{Kind: obs.KindState, Node: a.Node, Block: b, Old: "E", New: "D"})
+			}
 			s.write(b, line)
 			return nil
 		case StateMC:
 			// MC -> MD with no bus transaction.
 			s.writeHits++
 			line.State = StateMD
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindHit, Node: a.Node, Block: b})
+				s.emit(obs.Event{Kind: obs.KindState, Node: a.Node, Block: b, Old: "MC", New: "MD", Migratory: true})
+			}
 			s.write(b, line)
 			return nil
 		case StateS, StateS2, StateO:
@@ -368,6 +423,9 @@ func (s *System) bumpEvidence(e uint8) uint8 {
 // readMiss runs a Brmr transaction.
 func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 	s.counts.ReadMiss++
+	if s.probe != nil {
+		s.emitBus(n, b, "read miss")
+	}
 	var r response
 	// The conventional protocols have no Shared-2 state; their
 	// downgrades go straight to Shared.
@@ -377,6 +435,7 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 	}
 	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		line := s.caches[i].Peek(b)
+		old := line.State
 		switch line.State {
 		case StateE:
 			line.State = down
@@ -385,6 +444,9 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 			if s.cfg.Protocol == Symmetry {
 				// Symmetry model B: modified blocks always migrate.
 				// Ownership (still dirty) transfers to the requester.
+				if s.probe != nil {
+					s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: "D", New: "I"})
+				}
 				s.invalidate(i, b)
 				r.mig = true
 				return
@@ -394,7 +456,7 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 				// dirty master copy; memory is not updated.
 				line.State = StateO
 				r.shared = true
-				return
+				break
 			}
 			// Provide data; memory snoops and is updated.
 			line.State = down
@@ -415,13 +477,23 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 			line.State = StateS2
 			r.shared = true
 			r.evidence = line.Aux
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindDeclassify, Node: n, Block: b, Evidence: int(line.Aux)})
+			}
 		case StateMD:
 			// Migrate: invalidate here, hand the (now clean, memory
 			// updated) block to the requester with Migratory asserted.
 			ev := line.Aux
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: "MD", New: "I"})
+			}
 			s.invalidate(i, b)
 			r.mig = true
 			r.evidence = ev
+			return
+		}
+		if s.probe != nil && line.State != old {
+			s.emit(obs.Event{Kind: obs.KindState, Node: i, Block: b, Old: StateName(old), New: StateName(line.State)})
 		}
 	})
 
@@ -451,6 +523,15 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 	default:
 		st = StateE
 	}
+	if s.probe != nil {
+		if r.mig {
+			s.emit(obs.Event{Kind: obs.KindMigration, Node: n, Block: b, Migratory: true})
+		} else {
+			s.emit(obs.Event{Kind: obs.KindReplication, Node: n, Block: b})
+		}
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "I", New: StateName(st),
+			Migratory: st == StateMC || st == StateMD})
+	}
 	line := s.insert(n, b, st)
 	line.Aux = aux
 	if st == StateD {
@@ -462,11 +543,15 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 // writeMiss runs a Bwmr transaction.
 func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	s.counts.WriteMiss++
+	if s.probe != nil {
+		s.emitBus(n, b, "write miss")
+	}
 	var r response
 	others := s.holderSet(b).Remove(n)
 	single := others.Len()
 	others.ForEach(func(i memory.NodeID) {
 		line := s.caches[i].Peek(b)
+		old := StateName(line.State)
 		switch line.State {
 		case StateE, StateD:
 			// A write miss to a block with a single cached copy in E or D
@@ -475,6 +560,9 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 				r.evidence = s.bumpEvidence(line.Aux)
 				if int(r.evidence) >= s.cfg.Hysteresis {
 					r.mig = true
+				}
+				if s.probe != nil {
+					s.emitEvidence(n, b, r.evidence, r.mig)
 				}
 			}
 			s.invalidate(i, b)
@@ -486,9 +574,15 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 		case StateMC:
 			// Not modified before leaving: declassify (no Migratory
 			// assertion); the requester installs a plain Dirty copy.
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindDeclassify, Node: n, Block: b})
+			}
 			s.invalidate(i, b)
 		default: // S, S2, O (a Berkeley owner provides the data as it goes)
 			s.invalidate(i, b)
+		}
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: old, New: "I"})
 		}
 	})
 	st := StateD
@@ -502,6 +596,9 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 		st = StateMD
 		aux = uint8(s.cfg.Hysteresis)
 	}
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: "I", New: StateName(st), Migratory: st == StateMD})
+	}
 	line := s.insert(n, b, st)
 	line.Aux = aux
 	s.write(b, line)
@@ -510,9 +607,13 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 // writeHitShared runs a Bir transaction for a write hit on an S or S2 line.
 func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.Line) {
 	s.counts.Invalidation++
+	if s.probe != nil {
+		s.emitBus(n, b, "invalidation")
+	}
 	var r response
 	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		other := s.caches[i].Peek(b)
+		old := StateName(other.State)
 		switch other.State {
 		case StateS2:
 			// The invalidator holds the newer copy of a two-copy block:
@@ -522,12 +623,19 @@ func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.L
 				if int(r.evidence) >= s.cfg.Hysteresis {
 					r.mig = true
 				}
+				if s.probe != nil {
+					s.emitEvidence(n, b, r.evidence, r.mig)
+				}
 			}
 			s.invalidate(i, b)
 		default: // S (and, for MESI, any shared copy)
 			s.invalidate(i, b)
 		}
+		if s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: old, New: "I"})
+		}
 	})
+	oldSelf := StateName(line.State)
 	if line.State == StateS2 || line.State == StateO {
 		// The older copy writing is not the migratory pattern (S2+Cwh -> D
 		// regardless of responses, Figure 2); a Berkeley owner likewise
@@ -541,6 +649,10 @@ func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.L
 		line.State = StateD
 		line.Aux = r.evidence
 	}
+	if s.probe != nil {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: oldSelf, New: StateName(line.State),
+			Migratory: line.State == StateMD})
+	}
 	s.write(b, line)
 }
 
@@ -551,6 +663,9 @@ func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.L
 // exclusively (clean — memory is current).
 func (s *System) writeUpdate(n memory.NodeID, b memory.BlockID, line *cache.Line) {
 	s.counts.Update++
+	if s.probe != nil {
+		s.emitBus(n, b, "update")
+	}
 	s.write(b, line)
 	line.Dirty = false // the broadcast updated memory
 	line.Aux = 0
@@ -559,16 +674,23 @@ func (s *System) writeUpdate(n memory.NodeID, b memory.BlockID, line *cache.Line
 		other := s.caches[i].Peek(b)
 		other.Aux++
 		if other.Aux >= 2 {
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: StateName(other.State), New: "I"})
+			}
 			s.invalidate(i, b)
 			return
 		}
 		other.Version = line.Version
 		sharers = true
 	})
+	old := line.State
 	if sharers {
 		line.State = StateS
 	} else {
 		line.State = StateE
+	}
+	if s.probe != nil && line.State != old {
+		s.emit(obs.Event{Kind: obs.KindState, Node: n, Block: b, Old: StateName(old), New: StateName(line.State)})
 	}
 }
 
@@ -580,8 +702,15 @@ func (s *System) insert(n memory.NodeID, b memory.BlockID, st cache.State) *cach
 		s.dropHolder(victim.Block, n)
 		if victim.Dirty {
 			s.counts.WriteBack++
+			if s.probe != nil {
+				s.emit(obs.Event{Kind: obs.KindWriteBack, Node: n, Block: victim.Block, Old: StateName(victim.State), New: "I"})
+				s.emitBus(n, victim.Block, "write back")
+			}
+		} else if s.probe != nil {
+			// Clean drops are silent on a bus (no directory to notify), but
+			// still observable.
+			s.emit(obs.Event{Kind: obs.KindCleanDrop, Node: n, Block: victim.Block, Old: StateName(victim.State), New: "I"})
 		}
-		// Clean drops are silent on a bus: there is no directory to notify.
 	}
 	return line
 }
