@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci inspect-demo
+.PHONY: build test race vet bench fuzz ci inspect-demo
+
+# Seconds of fuzzing per target in `make fuzz` (kept short for CI).
+FUZZTIME ?= 10s
 
 build:
 	$(GO) build ./...
@@ -19,13 +22,22 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
 
+# Short fuzz pass over every fuzz target; go test allows one -fuzz pattern
+# per invocation, so each target gets its own run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDirectoryProtocols$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSnoopProtocols$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceCodec$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzMTRRoundTrip$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzMTRDecode$$' -fuzztime $(FUZZTIME) .
+
 ci: build vet test race
 
 # End-to-end observability demo: generate a short MP3D trace, replay it
 # under the basic protocol with the inspector attached, and export the
 # event stream for Perfetto (ui.perfetto.dev) alongside the JSONL form.
 inspect-demo:
-	$(GO) run ./cmd/tracegen -app MP3D -length 20000 -o /tmp/mp3d.trc
-	$(GO) run ./cmd/inspect -trace /tmp/mp3d.trc -variant basic \
+	$(GO) run ./cmd/tracegen -app MP3D -length 20000 -o /tmp/mp3d.mtr
+	$(GO) run ./cmd/inspect -trace /tmp/mp3d.mtr -variant basic \
 		-kinds classify,declassify,migration -max 25 \
 		-jsonl /tmp/mp3d-events.jsonl -perfetto /tmp/mp3d-trace.json

@@ -1,6 +1,7 @@
 package migratory
 
 import (
+	"context"
 	"io"
 
 	"migratory/internal/core"
@@ -375,3 +376,118 @@ func DefaultTimingParams() TimingParams { return timing.DefaultParams() }
 
 // RunTimed executes a trace under the timing model.
 func RunTimed(accs []Access, cfg TimingConfig) (TimingResult, error) { return timing.Run(accs, cfg) }
+
+// Streaming trace sources: pull-based access streams for constant-memory
+// pipelines. A TraceSource can be rewound (Reset) for the two-pass
+// placement-then-simulation methodology and re-opened by every cell of a
+// sweep, so a million-access trace is simulated without ever being held in
+// memory. The slice-based entry points above remain thin wrappers over
+// these.
+type (
+	// TraceSource is a re-openable access stream: Next until io.EOF,
+	// Reset to rewind, Close when done.
+	TraceSource = trace.Source
+	// TraceReader is the read side of a source (Next only).
+	TraceReader = trace.Reader
+	// SliceTraceSource adapts an in-memory trace to TraceSource.
+	SliceTraceSource = trace.SliceSource
+	// FileTraceSource streams a binary trace file (either format).
+	FileTraceSource = trace.FileSource
+	// GeneratorTraceSource lazily generates a workload profile's trace,
+	// bit-identical to GenerateWorkload with the same parameters.
+	GeneratorTraceSource = workload.Source
+	// TraceWriter encodes accesses to the streaming .mtr binary format.
+	TraceWriter = trace.Writer
+	// TraceHeader is the geometry header of a streaming trace file.
+	TraceHeader = trace.Header
+)
+
+// NewSliceTraceSource wraps an in-memory trace as a TraceSource.
+func NewSliceTraceSource(accs []Access) *SliceTraceSource { return trace.NewSliceSource(accs) }
+
+// NewGeneratorSource returns a source that generates the named profile's
+// trace lazily (length 0 = the profile default).
+func NewGeneratorSource(name string, nodes int, seed int64, length int) (*GeneratorTraceSource, error) {
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewSource(p, nodes, seed, length)
+}
+
+// OpenTraceFile opens a binary trace file (the streaming .mtr format or
+// the legacy fixed-record one) as a TraceSource. The caller must Close it.
+func OpenTraceFile(path string) (*FileTraceSource, error) { return trace.OpenFile(path) }
+
+// NewFileTraceSource decodes a binary trace from any seekable reader,
+// e.g. a bytes.Reader holding an .mtr image.
+func NewFileTraceSource(r io.ReadSeeker) (*FileTraceSource, error) { return trace.NewFileSource(r) }
+
+// NewTraceWriter returns a writer encoding accesses to w in the streaming
+// .mtr format. Close it to emit the integrity trailer.
+func NewTraceWriter(w io.Writer, hdr TraceHeader) *TraceWriter { return trace.NewWriter(w, hdr) }
+
+// ReadTrace drains a source into memory.
+func ReadTrace(src TraceReader) ([]Access, error) { return trace.ReadAll(src) }
+
+// RunDirectory builds a directory-based system and streams src through it.
+// A nil ctx behaves like context.Background(); a cancelled one aborts the
+// run within a few thousand accesses with ctx.Err().
+func RunDirectory(ctx context.Context, src TraceSource, cfg DirectoryConfig) (*DirectorySystem, error) {
+	sys, err := directory.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.RunSource(ctx, src); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// RunBus builds a snooping bus system and streams src through it, with the
+// same context semantics as RunDirectory.
+func RunBus(ctx context.Context, src TraceSource, cfg BusConfig) (*BusSystem, error) {
+	sys, err := snoop.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.RunSource(ctx, src); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// RunTimedSource executes a streamed trace under the timing model.
+func RunTimedSource(ctx context.Context, src TraceSource, cfg TimingConfig) (TimingResult, error) {
+	return timing.RunSource(ctx, src, cfg)
+}
+
+// AnalyzeTraceSource computes summary statistics in one streaming pass.
+func AnalyzeTraceSource(src TraceReader, geom Geometry) (TraceStats, error) {
+	return trace.AnalyzeSource(src, geom)
+}
+
+// ClassifyBlocksSource is ClassifyBlocks over a streamed trace.
+func ClassifyBlocksSource(src TraceReader, geom Geometry) (map[BlockID]BlockPattern, error) {
+	return trace.ClassifyBlocksSource(src, geom)
+}
+
+// Sentinel errors, matchable with errors.Is through every wrapping layer
+// (lookups, config validation, the trace codec).
+var (
+	// ErrUnknownPolicy reports a protocol-policy name that does not resolve.
+	ErrUnknownPolicy = core.ErrUnknownPolicy
+	// ErrUnknownProfile reports a workload-profile name that does not
+	// resolve.
+	ErrUnknownProfile = workload.ErrUnknownProfile
+	// ErrUnknownEventKind reports an event-kind name that does not resolve.
+	ErrUnknownEventKind = obs.ErrUnknownEventKind
+	// ErrBadGeometry reports invalid block/page geometry.
+	ErrBadGeometry = memory.ErrBadGeometry
+	// ErrTraceTruncated reports a trace file cut short.
+	ErrTraceTruncated = trace.ErrTruncated
+	// ErrTraceCorrupt reports a structurally invalid trace file.
+	ErrTraceCorrupt = trace.ErrCorrupt
+	// ErrTraceBadMagic reports input that is not a trace file at all.
+	ErrTraceBadMagic = trace.ErrBadMagic
+)

@@ -833,6 +833,59 @@ func BenchmarkRunBusParallel(b *testing.B) {
 	reportSpeedup(b, "BenchmarkRunBusParallel", seq)
 }
 
+// BenchmarkStreamedTable2 prices the streaming sweep path against the
+// materialized one at two trace lengths. The interesting column is memory:
+// the streamed run feeds each cell from a lazy generator source, so its
+// allocated bytes stay flat as the trace grows, while the materialized run
+// holds the whole access slice and scales linearly. Both variants land on
+// bit-identical counters (TestStreamedTable2Equivalence).
+func BenchmarkStreamedTable2(b *testing.B) {
+	lengths := []int{40_000, 160_000}
+	measured := map[string]float64{}
+	for _, stream := range []bool{false, true} {
+		mode := "materialized"
+		if stream {
+			mode = "streamed"
+		}
+		for _, length := range lengths {
+			b.Run(fmt.Sprintf("%s/len=%d", mode, length), func(b *testing.B) {
+				b.ReportAllocs()
+				opts := benchOpts("MP3D")
+				opts.Length = length
+				opts.Parallelism = 1
+				opts.Stream = stream
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Table2(opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				runtime.ReadMemStats(&after)
+				measured[fmt.Sprintf("%s_%d_bytes_op", mode, length)] =
+					float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N)
+			})
+		}
+	}
+	// Sub-benchmarks have all run by now; derive the growth factors (how
+	// much allocation scales with a 4x longer trace) and persist them.
+	sGrow, mGrow := 0.0, 0.0
+	if v := measured["streamed_40000_bytes_op"]; v > 0 {
+		sGrow = measured["streamed_160000_bytes_op"] / v
+	}
+	if v := measured["materialized_40000_bytes_op"]; v > 0 {
+		mGrow = measured["materialized_160000_bytes_op"] / v
+	}
+	if sGrow > 0 {
+		measured["streamed_growth_4x_trace"] = sGrow
+		measured["materialized_growth_4x_trace"] = mGrow
+		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkStreamedTable2", measured); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // probeOverheadBaseline is the pre-observability BenchmarkTable2/MP3D-shaped
 // measurement (all four policies, 64 KB caches, benchLength trace), captured
 // before the probe layer landed. The nil-probe sub-benchmark below re-records

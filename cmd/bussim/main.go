@@ -9,6 +9,7 @@
 //	bussim                       # all five apps at 64 KB and 1 MB caches
 //	bussim -apps Water,MP3D -caches 65536
 //	bussim -symmetry             # include the Sequent Symmetry baseline (§5)
+//	bussim -trace mp3d.mtr       # replay a recorded trace file
 //	bussim -parallelism 8        # cap the sweep worker pool (0 = all CPUs)
 package main
 
@@ -16,57 +17,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"migratory/internal/cliutil"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
 )
 
 func main() {
 	var (
-		apps     = flag.String("apps", "", "comma-separated app subset (default: all five)")
+		common   = cliutil.Register("bussim")
 		caches   = flag.String("caches", "", "comma-separated per-node cache bytes (default: 65536,1048576)")
-		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed     = flag.Int64("seed", 1993, "workload generator seed")
-		nodes    = flag.Int("nodes", 16, "processor count")
 		symmetry = flag.Bool("symmetry", false, "include the non-adaptive Symmetry migrate-on-read baseline")
 		format   = flag.String("format", "table", "output format: table, csv, or json")
-		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
+	common.Validate()
 
-	if *parallel < 0 {
-		fmt.Fprintf(os.Stderr, "bussim: -parallelism must be >= 0 (got %d)\n", *parallel)
-		flag.Usage()
-		os.Exit(2)
-	}
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	opts := common.Options(ctx)
 
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
-	}
-	var cacheSizes []int
-	if *caches != "" {
-		for _, c := range strings.Split(*caches, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(c))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bussim: bad cache size %q\n", c)
-				os.Exit(2)
-			}
-			cacheSizes = append(cacheSizes, n)
-		}
+	cacheSizes, err := cliutil.ParseCaches(*caches)
+	if err != nil {
+		cliutil.Usagef("bussim", "%v", err)
 	}
 	protocols := []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst}
 	if *symmetry {
 		protocols = append(protocols, snoop.Symmetry)
 	}
 
-	sw, err := sim.RunBus(opts, cacheSizes, protocols)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bussim: %v\n", err)
-		os.Exit(1)
+	var sw *sim.BusSweep
+	if prepared, err := common.TraceApps(); err != nil {
+		cliutil.Fatal("bussim", "%v", err)
+	} else if prepared != nil {
+		sw, err = sim.RunBusApps(prepared, opts, cacheSizes, protocols)
+		if err != nil {
+			cliutil.Fatal("bussim", "%v", err)
+		}
+	} else {
+		sw, err = sim.RunBus(opts, cacheSizes, protocols)
+		if err != nil {
+			cliutil.Fatal("bussim", "%v", err)
+		}
 	}
+
 	switch *format {
 	case "csv":
 		fmt.Print(sw.CSV())
@@ -74,22 +68,19 @@ func main() {
 	case "json":
 		out, err := sw.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bussim: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatal("bussim", "%v", err)
 		}
 		fmt.Print(out)
 		return
 	case "table":
 		// fall through
 	default:
-		fmt.Fprintf(os.Stderr, "bussim: unknown format %q\n", *format)
-		os.Exit(2)
+		cliutil.Usagef("bussim", "unknown format %q", *format)
 	}
 
 	fmt.Println("Bus-based snooping protocols (§4.3): savings vs conventional MESI")
 	fmt.Println()
 	if err := sw.Render().Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "bussim: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("bussim", "%v", err)
 	}
 }

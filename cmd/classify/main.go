@@ -10,6 +10,7 @@
 //	classify                 # all five applications
 //	classify -apps MP3D      # one application
 //	classify -cache 16384    # score under replacement pressure
+//	classify -trace mp3d.mtr # score a recorded trace file
 //	classify -parallelism 8  # cap the sweep worker pool (0 = all CPUs)
 package main
 
@@ -18,56 +19,62 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
+	"migratory/internal/cliutil"
 	"migratory/internal/core"
 	"migratory/internal/directory"
 	"migratory/internal/memory"
-	"migratory/internal/placement"
 	"migratory/internal/sim"
 	"migratory/internal/workload"
 )
 
 func main() {
 	var (
-		apps     = flag.String("apps", "", "comma-separated app subset (default: all five)")
-		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed     = flag.Int64("seed", 1993, "workload generator seed")
-		nodes    = flag.Int("nodes", 16, "processor count")
-		cache    = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
-		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
+		common = cliutil.Register("classify")
+		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
 	)
 	flag.Parse()
+	common.Validate()
 
-	if *parallel < 0 {
-		fmt.Fprintf(os.Stderr, "classify: -parallelism must be >= 0 (got %d)\n", *parallel)
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
-	} else {
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	opts := common.Options(ctx)
+	if len(opts.Apps) == 0 {
 		for _, p := range workload.Profiles() {
 			opts.Apps = append(opts.Apps, p.Name)
+		}
+	}
+
+	// One prepared app per input: the -trace file, or each built-in profile.
+	// The same apps drive both the accuracy scoring and the histogram, so a
+	// trace is generated (or a file profiled) once per app.
+	var apps []*sim.App
+	if traced, err := common.TraceApps(); err != nil {
+		cliutil.Fatal("classify", "%v", err)
+	} else if traced != nil {
+		apps = traced
+	} else {
+		for _, name := range opts.Apps {
+			app, err := sim.PrepareApp(name, opts)
+			if err != nil {
+				cliutil.Fatal("classify", "%v", err)
+			}
+			apps = append(apps, app)
 		}
 	}
 
 	fmt.Println("On-line detection vs off-line ground truth (shared blocks only):")
 	fmt.Println()
 	var all []sim.Accuracy
-	for _, app := range opts.Apps {
-		rows, err := sim.ClassifierAccuracy(app, opts, *cache)
+	for _, app := range apps {
+		rows, err := sim.ClassifierAccuracyApp(app, opts, *cache)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatal("classify", "%v", err)
 		}
 		all = append(all, rows...)
 	}
 	if err := sim.RenderAccuracy(all).Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "classify: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("classify", "%v", err)
 	}
 
 	fmt.Println()
@@ -75,30 +82,24 @@ func main() {
 	fmt.Println("invalidated per ownership acquisition — the Weber–Gupta motivation for")
 	fmt.Println("migratory detection.")
 	fmt.Println()
-	geom := memory.MustGeometry(16, 4096)
-	for _, app := range opts.Apps {
-		prof, err := workload.ProfileByName(app)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
-			os.Exit(1)
-		}
-		accs, err := workload.Generate(prof, *nodes, *seed, *length)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
-			os.Exit(1)
-		}
+	geom := memory.MustGeometry(16, sim.PageSize)
+	for _, app := range apps {
 		sys, err := directory.New(directory.Config{
-			Nodes: *nodes, Geometry: geom, CacheBytes: *cache,
+			Nodes: opts.Nodes, Geometry: geom, CacheBytes: *cache,
 			Policy:    core.Conventional,
-			Placement: placement.UsageBased(accs, geom, *nodes),
+			Placement: app.Placement,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatal("classify", "%v", err)
 		}
-		if err := sys.Run(accs); err != nil {
-			fmt.Fprintf(os.Stderr, "classify: %v\n", err)
-			os.Exit(1)
+		src, err := app.Open()
+		if err != nil {
+			cliutil.Fatal("classify", "%v", err)
+		}
+		err = sys.RunSource(ctx, src)
+		src.Close()
+		if err != nil {
+			cliutil.Fatal("classify", "%v", err)
 		}
 		hist := sys.InvalidationHistogram()
 		sizes := make([]int, 0, len(hist))
@@ -108,7 +109,7 @@ func main() {
 			total += c
 		}
 		sort.Ints(sizes)
-		fmt.Printf("%-12s", app)
+		fmt.Printf("%-12s", app.Name)
 		for _, sz := range sizes {
 			fmt.Printf("  %d:%5.1f%%", sz, 100*float64(hist[sz])/float64(total))
 		}

@@ -8,6 +8,7 @@
 //	exectime                      # Cholesky, MP3D, Water with basic
 //	exectime -policy aggressive   # a different adaptive variant
 //	exectime -apps MP3D -cache 262144
+//	exectime -trace mp3d.mtr      # time a recorded trace file
 //	exectime -parallelism 8       # cap the sweep worker pool (0 = all CPUs)
 package main
 
@@ -15,45 +16,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"migratory/internal/core"
+	"migratory/internal/cliutil"
 	"migratory/internal/sim"
 )
 
 func main() {
 	var (
-		apps     = flag.String("apps", strings.Join(sim.ExecApps, ","), "comma-separated apps")
-		policy   = flag.String("policy", "basic", "adaptive policy to compare against conventional")
-		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed     = flag.Int64("seed", 1993, "workload generator seed")
-		nodes    = flag.Int("nodes", 16, "processor count")
-		cache    = flag.Int("cache", 0, "per-node cache bytes (0 = 64 KB)")
-		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
+		common = cliutil.Register("exectime")
+		policy = flag.String("policy", "basic", "adaptive policy to compare against conventional")
+		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = 64 KB)")
 	)
 	flag.Parse()
+	common.Validate()
 
-	if *parallel < 0 {
-		fmt.Fprintf(os.Stderr, "exectime: -parallelism must be >= 0 (got %d)\n", *parallel)
-		flag.Usage()
-		os.Exit(2)
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	pol := cliutil.PolicyArg("exectime", *policy)
+	opts := common.Options(ctx)
+	if len(opts.Apps) == 0 {
+		opts.Apps = sim.ExecApps
 	}
 
-	pol, err := core.PolicyByName(*policy)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "exectime: %v\n", err)
-		os.Exit(2)
-	}
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Apps: strings.Split(*apps, ","), Parallelism: *parallel}
-	rows, err := sim.ExecutionTime(opts, pol, *cache)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "exectime: %v\n", err)
-		os.Exit(1)
+	var rows []sim.ExecRow
+	if prepared, err := common.TraceApps(); err != nil {
+		cliutil.Fatal("exectime", "%v", err)
+	} else if prepared != nil {
+		rows, err = sim.ExecutionTimeApps(prepared, opts, pol, *cache)
+		if err != nil {
+			cliutil.Fatal("exectime", "%v", err)
+		}
+	} else {
+		rows, err = sim.ExecutionTime(opts, pol, *cache)
+		if err != nil {
+			cliutil.Fatal("exectime", "%v", err)
+		}
 	}
 	fmt.Println("Execution-driven simulation (§4.2): DASH-like latencies, round-robin placement")
 	fmt.Println()
 	if err := sim.RenderExec(rows, pol).Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "exectime: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("exectime", "%v", err)
 	}
 }

@@ -8,22 +8,24 @@
 //
 //	inspect -app MP3D -variant basic -max 50          # first 50 events
 //	inspect -app MP3D -variant aggressive -kinds classify,declassify
-//	inspect -trace t.bin -engine bus -variant adaptive -blocks 3,17
+//	inspect -trace t.mtr -engine bus -variant adaptive -blocks 3,17
 //	inspect -app Water -variant basic -perfetto run.json -events=false
 //	inspect -app MP3D -variant conservative -top 20 -jsonl events.jsonl
 //
 // Filters (-kinds, -blocks, -filter-nodes) restrict the printed stream and
 // the JSONL/Perfetto exports; the metrics report always aggregates the full
 // stream, so its message totals reconcile with the engine's cost counters.
+// The trace is streamed — generated lazily or decoded straight off the
+// file — so arbitrarily long replays hold O(1) trace state.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"migratory/internal/cliutil"
 	"migratory/internal/core"
 	"migratory/internal/directory"
 	"migratory/internal/memory"
@@ -36,14 +38,7 @@ import (
 )
 
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "inspect: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-func usage(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "inspect: "+format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
+	cliutil.Fatal("inspect", format, args...)
 }
 
 func main() {
@@ -78,12 +73,16 @@ func main() {
 		return
 	}
 
-	filter, err := buildFilter(*kinds, *blocks, *nodesFlt)
+	filter, err := cliutil.ParseFilter(*kinds, *blocks, *nodesFlt)
 	if err != nil {
-		usage("%v", err)
+		cliutil.Usagef("inspect", "%v", err)
 	}
 
-	accs := loadTrace(*app, *traceIn, *nodes, *seed, *length)
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	src := openSource(*app, *traceIn, *nodes, *seed, *length)
+	defer src.Close()
 
 	// Assemble the probe chain: the metrics probe sees the full stream;
 	// printer and exporters sit behind the filter.
@@ -126,7 +125,7 @@ func main() {
 		probes = append(probes, obs.FilterProbe{Filter: filter, Next: filtered})
 	}
 
-	run(*engine, *variant, accs, *nodes, *cacheKB<<10, *blockSize, probes)
+	run(ctx, *engine, *variant, src, *nodes, *cacheKB<<10, *blockSize, probes)
 
 	if truncated {
 		fmt.Printf("... (stream truncated at %d events; raise -max)\n", *max)
@@ -163,39 +162,50 @@ func main() {
 	}
 }
 
-// loadTrace produces the access stream from -trace or -app.
-func loadTrace(app, traceIn string, nodes int, seed int64, length int) []trace.Access {
+// openSource builds the access stream from -trace or -app without
+// materializing it.
+func openSource(app, traceIn string, nodes int, seed int64, length int) trace.Source {
 	switch {
 	case traceIn != "":
-		f, err := os.Open(traceIn)
+		src, err := trace.OpenFile(traceIn)
 		if err != nil {
 			fatal("%v", err)
 		}
-		accs, err := trace.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			fatal("%v", err)
-		}
-		return accs
+		return src
 	case app != "":
 		prof, err := workload.ProfileByName(app)
 		if err != nil {
 			fatal("%v", err)
 		}
-		accs, err := workload.Generate(prof, nodes, seed, length)
+		src, err := workload.NewSource(prof, nodes, seed, length)
 		if err != nil {
 			fatal("%v", err)
 		}
-		return accs
+		return src
 	default:
-		usage("need -app or -trace")
+		cliutil.Usagef("inspect", "need -app or -trace")
 		return nil
 	}
 }
 
-// run replays the trace under the selected engine and variant with the
-// probe attached.
-func run(engine, variant string, accs []trace.Access, nodes, cacheBytes, blockSize int, probe obs.Probe) {
+// countingSource counts the accesses delivered through it.
+type countingSource struct {
+	trace.Source
+	n int
+}
+
+func (c *countingSource) Next() (trace.Access, error) {
+	a, err := c.Source.Next()
+	if err == nil {
+		c.n++
+	}
+	return a, err
+}
+
+// run replays the source under the selected engine and variant with the
+// probe attached. The directory engine takes a profiling pass first (for
+// the usage-based placement), then the source is rewound for simulation.
+func run(ctx context.Context, engine, variant string, src trace.Source, nodes, cacheBytes, blockSize int, probe obs.Probe) {
 	geom, err := memory.NewGeometry(blockSize, sim.PageSize)
 	if err != nil {
 		fatal("%v", err)
@@ -204,29 +214,36 @@ func run(engine, variant string, accs []trace.Access, nodes, cacheBytes, blockSi
 	case "directory":
 		pol, err := core.PolicyByName(variant)
 		if err != nil {
-			usage("%v", err)
+			cliutil.Usagef("inspect", "%v", err)
+		}
+		pl, err := placement.UsageBasedSource(src, geom, nodes)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := src.Reset(); err != nil {
+			fatal("%v", err)
 		}
 		sys, err := directory.New(directory.Config{
 			Nodes:      nodes,
 			Geometry:   geom,
 			CacheBytes: cacheBytes,
 			Policy:     pol,
-			Placement:  placement.UsageBased(accs, geom, nodes),
+			Placement:  pl,
 			Probe:      probe,
 		})
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := sys.Run(accs); err != nil {
+		if err := sys.RunSource(ctx, src); err != nil {
 			fatal("%v", err)
 		}
 		m := sys.Messages()
 		fmt.Printf("\n%s/%s: %d accesses, %d short + %d data messages\n",
 			engine, variant, sys.Counters().Accesses, m.Short, m.Data)
 	case "bus":
-		prot, err := busProtocolByName(variant)
+		prot, err := cliutil.BusProtocolByName(variant)
 		if err != nil {
-			usage("%v", err)
+			cliutil.Usagef("inspect", "%v", err)
 		}
 		sys, err := snoop.New(snoop.Config{
 			Nodes:      nodes,
@@ -238,58 +255,13 @@ func run(engine, variant string, accs []trace.Access, nodes, cacheBytes, blockSi
 		if err != nil {
 			fatal("%v", err)
 		}
-		if err := sys.Run(accs); err != nil {
+		counted := &countingSource{Source: src}
+		if err := sys.RunSource(ctx, counted); err != nil {
 			fatal("%v", err)
 		}
 		fmt.Printf("\n%s/%s: %d accesses, %d bus transactions\n",
-			engine, variant, len(accs), sys.Counts().Total())
+			engine, variant, counted.n, sys.Counts().Total())
 	default:
-		usage("unknown engine %q (want directory or bus)", engine)
+		cliutil.Usagef("inspect", "unknown engine %q (want directory or bus)", engine)
 	}
-}
-
-func busProtocolByName(name string) (snoop.Protocol, error) {
-	all := []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst,
-		snoop.Symmetry, snoop.Berkeley, snoop.UpdateOnce}
-	for _, p := range all {
-		if p.String() == name {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown bus protocol %q", name)
-}
-
-// buildFilter parses the -kinds, -blocks, and -filter-nodes flags.
-func buildFilter(kinds, blocks, nodes string) (obs.Filter, error) {
-	var f obs.Filter
-	if kinds != "" {
-		for _, name := range strings.Split(kinds, ",") {
-			k, err := obs.ParseKind(strings.TrimSpace(name))
-			if err != nil {
-				return f, err
-			}
-			f.Kinds = f.Kinds.Add(k)
-		}
-	}
-	if blocks != "" {
-		f.Blocks = make(map[memory.BlockID]bool)
-		for _, s := range strings.Split(blocks, ",") {
-			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
-			if err != nil {
-				return f, fmt.Errorf("bad block ID %q", s)
-			}
-			f.Blocks[memory.BlockID(v)] = true
-		}
-	}
-	if nodes != "" {
-		f.Nodes = make(map[memory.NodeID]bool)
-		for _, s := range strings.Split(nodes, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
-			if err != nil {
-				return f, fmt.Errorf("bad node ID %q", s)
-			}
-			f.Nodes[memory.NodeID(v)] = true
-		}
-	}
-	return f, nil
 }

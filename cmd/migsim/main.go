@@ -9,6 +9,8 @@
 //	migsim -table 3 -apps MP3D      # Table 3, one app
 //	migsim -table 2 -ratios         # add the 2:1 / 4:1 cost-ratio analysis
 //	migsim -length 100000 -seed 7   # shorter traces, different seed
+//	migsim -trace mp3d.mtr          # sweep over a recorded trace file
+//	migsim -stream -length 5000000  # constant-memory streamed sweep
 //	migsim -parallelism 8           # cap the sweep worker pool (0 = all CPUs)
 package main
 
@@ -16,57 +18,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"migratory/internal/cliutil"
 	"migratory/internal/sim"
-	"migratory/internal/trace"
 )
 
 func main() {
 	var (
-		table    = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
-		apps     = flag.String("apps", "", "comma-separated app subset (default: all five)")
-		length   = flag.Int("length", 0, "trace length override (0 = per-app default)")
-		seed     = flag.Int64("seed", 1993, "workload generator seed")
-		nodes    = flag.Int("nodes", 16, "processor count")
-		ratios   = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
-		format   = flag.String("format", "table", "output format: table, csv, or json")
-		traceIn  = flag.String("trace", "", "run the sweep over a binary trace file (from tracegen) instead of the built-in workloads")
-		parallel = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
+		common = cliutil.Register("migsim")
+		table  = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
+		ratios = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
+		format = flag.String("format", "table", "output format: table, csv, or json")
 	)
 	flag.Parse()
+	common.Validate()
 
-	if *parallel < 0 {
-		fmt.Fprintf(os.Stderr, "migsim: -parallelism must be >= 0 (got %d)\n", *parallel)
-		flag.Usage()
-		os.Exit(2)
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	opts := common.Options(ctx)
+
+	prepared, err := common.TraceApps()
+	if err != nil {
+		cliutil.Fatal("migsim", "%v", err)
 	}
 
-	opts := sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Parallelism: *parallel}
-	if *apps != "" {
-		opts.Apps = strings.Split(*apps, ",")
-	}
-
-	var prepared []*sim.App
-	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
-			os.Exit(1)
-		}
-		accs, err := trace.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
-			os.Exit(1)
-		}
-		prepared = []*sim.App{sim.NewApp(*traceIn, accs, *nodes)}
-	}
-
-	var (
-		sw  *sim.Sweep
-		err error
-	)
+	var sw *sim.Sweep
 	switch {
 	case *table == 2 && prepared != nil:
 		sw, err = sim.Table2Apps(prepared, opts)
@@ -77,12 +53,10 @@ func main() {
 	case *table == 3:
 		sw, err = sim.Table3(opts)
 	default:
-		fmt.Fprintf(os.Stderr, "migsim: unknown table %d (want 2 or 3)\n", *table)
-		os.Exit(2)
+		cliutil.Usagef("migsim", "unknown table %d (want 2 or 3)", *table)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("migsim", "%v", err)
 	}
 
 	switch *format {
@@ -92,16 +66,14 @@ func main() {
 	case "json":
 		out, err := sw.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatal("migsim", "%v", err)
 		}
 		fmt.Print(out)
 		return
 	case "table":
 		// fall through
 	default:
-		fmt.Fprintf(os.Stderr, "migsim: unknown format %q\n", *format)
-		os.Exit(2)
+		cliutil.Usagef("migsim", "unknown format %q", *format)
 	}
 
 	title := "Table 2: message counts (thousands) by cache size, application, and protocol (16-byte blocks)"
@@ -111,16 +83,14 @@ func main() {
 	fmt.Println(title)
 	fmt.Println()
 	if err := sw.Render().Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
-		os.Exit(1)
+		cliutil.Fatal("migsim", "%v", err)
 	}
 	if *ratios {
 		fmt.Println()
 		fmt.Println("Cost-ratio analysis (§4.1): % reduction under data:short message cost ratios")
 		fmt.Println()
 		if err := sw.CostRatioTable().Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "migsim: %v\n", err)
-			os.Exit(1)
+			cliutil.Fatal("migsim", "%v", err)
 		}
 	}
 }

@@ -1,11 +1,14 @@
 // Command tracegen generates, inspects, and converts the synthetic
-// SPLASH-like shared-memory traces used by the simulators.
+// SPLASH-like shared-memory traces used by the simulators. Generation
+// streams straight from the workload generator into the compact .mtr
+// format, so arbitrarily long traces are written in constant memory, and
+// statistics are computed in streaming passes over the source.
 //
 // Usage:
 //
-//	tracegen -app MP3D -o mp3d.trc            # generate a binary trace
+//	tracegen -app MP3D -o mp3d.mtr            # generate a binary trace
 //	tracegen -app Water -stats                # print trace statistics
-//	tracegen -in mp3d.trc -stats              # analyze an existing trace
+//	tracegen -in mp3d.mtr -stats              # analyze an existing trace
 //	tracegen -list                            # list available profiles
 package main
 
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"migratory/internal/cliutil"
 	"migratory/internal/memory"
 	"migratory/internal/placement"
 	"migratory/internal/trace"
@@ -24,7 +28,7 @@ func main() {
 	var (
 		app       = flag.String("app", "", "application profile to generate")
 		in        = flag.String("in", "", "read an existing binary trace instead of generating")
-		out       = flag.String("o", "", "write the trace to this file (binary format)")
+		out       = flag.String("o", "", "write the trace to this file (.mtr binary format)")
 		length    = flag.Int("length", 0, "trace length (0 = profile default)")
 		seed      = flag.Int64("seed", 1993, "generator seed")
 		nodes     = flag.Int("nodes", 16, "processor count")
@@ -49,63 +53,110 @@ func main() {
 		return
 	}
 
-	var accs []trace.Access
+	geom, err := memory.NewGeometry(*blockSize, 4096)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src trace.Source
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
+		fs, err := trace.OpenFile(*in)
 		if err != nil {
 			fatal(err)
 		}
-		accs, err = trace.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
+		src = fs
 	case *app != "":
 		prof, err := workload.ProfileByName(*app)
 		if err != nil {
 			fatal(err)
 		}
-		accs, err = workload.Generate(prof, *nodes, *seed, *length)
+		src, err = workload.NewSource(prof, *nodes, *seed, *length)
 		if err != nil {
 			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tracegen: need -app, -in, or -list")
-		os.Exit(2)
+		cliutil.Usagef("tracegen", "need -app, -in, or -list")
 	}
+	defer src.Close()
 
 	if *out != "" {
-		f, err := os.Create(*out)
+		n, err := export(src, *out, geom, *nodes)
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.WriteTo(f, accs); err != nil {
-			f.Close()
+		fmt.Printf("wrote %d accesses to %s\n", n, *out)
+		if err := src.Reset(); err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %d accesses to %s\n", len(accs), *out)
 	}
 
 	if *stats || *out == "" {
-		geom, err := memory.NewGeometry(*blockSize, 4096)
-		if err != nil {
+		if err := report(src, geom, *nodes); err != nil {
 			fatal(err)
 		}
-		st := trace.Analyze(accs, geom)
-		fmt.Print(st)
-		for _, pl := range []placement.Policy{
-			placement.NewRoundRobin(*nodes),
-			placement.FirstTouch(accs, geom, *nodes),
-			placement.UsageBased(accs, geom, *nodes),
-		} {
-			fmt.Printf("local access fraction under %-11s placement: %.1f%%\n",
-				pl.Name(), 100*placement.LocalFraction(accs, geom, pl))
-		}
 	}
+}
+
+// export streams the source into an .mtr file and returns the access count.
+func export(src trace.Source, path string, geom memory.Geometry, nodes int) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := trace.NewWriter(f, trace.Header{
+		BlockSize: geom.BlockSize(),
+		PageSize:  geom.PageSize(),
+		Nodes:     nodes,
+	})
+	n, err := trace.Copy(w, src)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return n, f.Close()
+}
+
+// report prints the trace census and the local-access fraction under each
+// placement policy, each computed in its own streaming pass.
+func report(src trace.Source, geom memory.Geometry, nodes int) error {
+	st, err := trace.AnalyzeSource(src, geom)
+	if err != nil {
+		return err
+	}
+	fmt.Print(st)
+
+	rewind := func() error { return src.Reset() }
+	if err := rewind(); err != nil {
+		return err
+	}
+	ft, err := placement.FirstTouchSource(src, geom, nodes)
+	if err != nil {
+		return err
+	}
+	if err := rewind(); err != nil {
+		return err
+	}
+	ub, err := placement.UsageBasedSource(src, geom, nodes)
+	if err != nil {
+		return err
+	}
+	for _, pl := range []placement.Policy{placement.NewRoundRobin(nodes), ft, ub} {
+		if err := rewind(); err != nil {
+			return err
+		}
+		frac, err := placement.LocalFractionSource(src, geom, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("local access fraction under %-11s placement: %.1f%%\n",
+			pl.Name(), 100*frac)
+	}
+	return nil
 }
 
 func fatal(err error) {

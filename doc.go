@@ -68,6 +68,25 @@
 // variant, prints and filters the event stream, reports the hottest
 // blocks, and exports JSONL or Perfetto traces.
 //
+// # Streaming traces
+//
+// Every consumer of a trace also accepts a TraceSource — a pull-based,
+// re-openable stream (Next until io.EOF, Reset to rewind, Close when
+// done) — so traces never have to be materialized. Sources come from
+// NewSliceTraceSource (in-memory), NewGeneratorSource (lazy synthetic
+// workload, bit-identical to GenerateWorkload), or OpenTraceFile (the
+// compact varint-delta ".mtr" binary format written by NewTraceWriter and
+// cmd/tracegen; the legacy fixed-record format is still readable). The
+// context-aware entry points RunDirectory, RunBus, and RunTimedSource
+// stream a source through the respective engine and honor cancellation;
+// AnalyzeTraceSource and ClassifyBlocksSource are their analysis twins.
+// ExperimentOptions.Context threads a context through every sweep driver
+// and ExperimentOptions.Stream makes the sweeps regenerate workloads
+// lazily per cell, keeping sweep memory constant in the trace length.
+// Failures are matchable with errors.Is against the exported sentinels
+// (ErrUnknownPolicy, ErrUnknownProfile, ErrUnknownEventKind,
+// ErrBadGeometry, ErrTraceTruncated, ErrTraceCorrupt, ErrTraceBadMagic).
+//
 // The cmd/ directory holds CLIs that regenerate each of the paper's tables
 // and figures; see DESIGN.md for the experiment index and EXPERIMENTS.md
 // for measured-versus-published results.

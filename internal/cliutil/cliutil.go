@@ -1,0 +1,200 @@
+// Package cliutil collects the flag parsing, option wiring, and trace
+// loading shared by the cmd/ mains, so each command declares only what is
+// unique to it: the common sweep flags (-apps, -length, -seed, -nodes,
+// -parallelism, -trace, -stream), the parallelism guard, signal-cancelled
+// contexts, policy and bus-protocol lookup, event-filter parsing, and the
+// fatal/usage exit helpers.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"migratory/internal/core"
+	"migratory/internal/memory"
+	"migratory/internal/obs"
+	"migratory/internal/sim"
+	"migratory/internal/snoop"
+	"migratory/internal/trace"
+)
+
+// Flags bundles the sweep flags every simulator CLI shares. Register them
+// before flag.Parse, then call Validate and Options.
+type Flags struct {
+	name string
+
+	Apps        *string
+	Length      *int
+	Seed        *int64
+	Nodes       *int
+	Parallelism *int
+	Trace       *string
+	Stream      *bool
+}
+
+// Register declares the shared sweep flags on the default flag set and
+// returns their holder. name prefixes error messages ("migsim: ...").
+func Register(name string) *Flags {
+	f := &Flags{name: name}
+	f.Apps = flag.String("apps", "", "comma-separated app subset (default: all five)")
+	f.Length = flag.Int("length", 0, "trace length override (0 = per-app default)")
+	f.Seed = flag.Int64("seed", 1993, "workload generator seed")
+	f.Nodes = flag.Int("nodes", 16, "processor count")
+	f.Parallelism = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
+	f.Trace = flag.String("trace", "", "run over a binary trace file (from tracegen) instead of the built-in workloads")
+	f.Stream = flag.Bool("stream", false, "regenerate traces lazily per simulation cell instead of materializing them (O(1) trace memory; bit-identical results)")
+	return f
+}
+
+// Validate enforces the shared flag invariants after flag.Parse, exiting
+// with usage (status 2) on violation.
+func (f *Flags) Validate() {
+	if *f.Parallelism < 0 {
+		Usagef(f.name, "-parallelism must be >= 0 (got %d)", *f.Parallelism)
+	}
+}
+
+// Options assembles the sim.Options the flags describe. ctx, when non-nil,
+// cancels the sweeps built from these options (see SignalContext).
+func (f *Flags) Options(ctx context.Context) sim.Options {
+	opts := sim.Options{
+		Context:     ctx,
+		Nodes:       *f.Nodes,
+		Seed:        *f.Seed,
+		Length:      *f.Length,
+		Stream:      *f.Stream,
+		Parallelism: *f.Parallelism,
+	}
+	if *f.Apps != "" {
+		for _, a := range strings.Split(*f.Apps, ",") {
+			opts.Apps = append(opts.Apps, strings.TrimSpace(a))
+		}
+	}
+	return opts
+}
+
+// TraceApps opens the -trace file, if one was given, as a one-element app
+// list for the *Apps sweep variants; it returns nil when -trace is unset.
+// Every simulation cell re-opens and re-decodes the file, so the sweep's
+// trace memory stays constant no matter how many accesses the file holds.
+func (f *Flags) TraceApps() ([]*sim.App, error) {
+	if *f.Trace == "" {
+		return nil, nil
+	}
+	app, err := TraceApp(*f.Trace, *f.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return []*sim.App{app}, nil
+}
+
+// TraceApp wraps one binary trace file (legacy fixed-record or streaming
+// .mtr format) as a sim.App: the usage-based placement comes from one
+// streaming profiling pass, and each Open re-reads the file from the start.
+func TraceApp(path string, nodes int) (*sim.App, error) {
+	return sim.NewSourceApp(path, func() (trace.Source, error) {
+		return trace.OpenFile(path)
+	}, nodes)
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, so ^C
+// aborts an in-flight sweep promptly and cleanly (the sweep returns
+// ctx.Err()). A second signal kills the process as usual.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Fatal prints "name: message" to stderr and exits with status 1.
+func Fatal(name, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, name+": "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// Usagef prints "name: message" and the flag usage, then exits with
+// status 2 (a command-line error rather than a runtime failure).
+func Usagef(name, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, name+": "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// PolicyArg resolves a -policy flag value, exiting with usage on an
+// unknown name.
+func PolicyArg(name, policy string) core.Policy {
+	pol, err := core.PolicyByName(policy)
+	if err != nil {
+		Usagef(name, "%v", err)
+	}
+	return pol
+}
+
+// BusProtocolByName resolves a snooping protocol variant by its name.
+func BusProtocolByName(name string) (snoop.Protocol, error) {
+	all := []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst,
+		snoop.Symmetry, snoop.Berkeley, snoop.UpdateOnce}
+	for _, p := range all {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown bus protocol %q", name)
+}
+
+// ParseCaches parses a comma-separated list of per-node cache sizes in
+// bytes ("65536,1048576").
+func ParseCaches(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, c := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			return nil, fmt.Errorf("bad cache size %q", c)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// ParseFilter builds an event filter from the comma-separated -kinds,
+// -blocks, and -filter-nodes flag values (empty = no restriction).
+func ParseFilter(kinds, blocks, nodes string) (obs.Filter, error) {
+	var f obs.Filter
+	if kinds != "" {
+		for _, name := range strings.Split(kinds, ",") {
+			k, err := obs.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				return f, err
+			}
+			f.Kinds = f.Kinds.Add(k)
+		}
+	}
+	if blocks != "" {
+		f.Blocks = make(map[memory.BlockID]bool)
+		for _, s := range strings.Split(blocks, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad block ID %q", s)
+			}
+			f.Blocks[memory.BlockID(v)] = true
+		}
+	}
+	if nodes != "" {
+		f.Nodes = make(map[memory.NodeID]bool)
+		for _, s := range strings.Split(nodes, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 32)
+			if err != nil {
+				return f, fmt.Errorf("bad node ID %q", s)
+			}
+			f.Nodes[memory.NodeID(v)] = true
+		}
+	}
+	return f, nil
+}

@@ -16,7 +16,14 @@
 // decision rules are the same ones expressed here.
 package core
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownPolicy is wrapped by PolicyByName when no protocol matches, so
+// callers can classify the failure with errors.Is.
+var ErrUnknownPolicy = errors.New("core: unknown policy")
 
 // Policy selects a member of the adaptive protocol family.
 type Policy struct {
@@ -75,14 +82,16 @@ func Policies() []Policy {
 	return []Policy{Conventional, Conservative, Basic, Aggressive}
 }
 
-// PolicyByName looks a policy up by its report name.
+// PolicyByName looks a policy up by its report name. Besides the four
+// published protocols it also resolves "stenstrom", the §5 related-work
+// comparison policy.
 func PolicyByName(name string) (Policy, error) {
-	for _, p := range Policies() {
+	for _, p := range append(Policies(), Stenstrom) {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	return Policy{}, fmt.Errorf("core: unknown policy %q", name)
+	return Policy{}, fmt.Errorf("%w: %q", ErrUnknownPolicy, name)
 }
 
 // Validate checks policy parameters.

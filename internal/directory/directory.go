@@ -14,7 +14,10 @@
 package directory
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"migratory/internal/cache"
 	"migratory/internal/core"
@@ -319,14 +322,56 @@ func (s *System) home(b memory.BlockID) memory.NodeID {
 	return s.cfg.Placement.Home(s.cfg.Geometry.PageOfBlock(b))
 }
 
+// cancelCheckInterval is how many accesses run between context checks in
+// RunSource. Coarse enough that the check is free against the per-access
+// simulation cost, fine enough that cancellation lands within microseconds.
+const cancelCheckInterval = 4096
+
 // Run feeds every access of the trace through the system.
 func (s *System) Run(accesses []trace.Access) error {
-	for i, a := range accesses {
+	return s.RunSource(nil, trace.NewSliceSource(accesses))
+}
+
+// RunSource feeds every access of a streamed trace through the system,
+// holding O(1) trace memory. A nil ctx is treated as context.Background();
+// on cancellation RunSource returns ctx.Err() within cancelCheckInterval
+// accesses, so callers can test errors.Is(err, context.Canceled).
+func (s *System) RunSource(ctx context.Context, src trace.Source) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Fast path: slice-backed sources iterate the slice directly instead of
+	// paying an interface call per access.
+	if ss, ok := src.(*trace.SliceSource); ok {
+		for i, a := range ss.Rest() {
+			if i&(cancelCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := s.Access(a); err != nil {
+				return fmt.Errorf("access %d (%v): %w", i, a, err)
+			}
+		}
+		return nil
+	}
+	for i := 0; ; i++ {
+		if i&(cancelCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("directory: trace source at access %d: %w", i, err)
+		}
 		if err := s.Access(a); err != nil {
 			return fmt.Errorf("access %d (%v): %w", i, a, err)
 		}
 	}
-	return nil
 }
 
 // Access applies a single shared-memory reference.

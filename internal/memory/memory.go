@@ -9,9 +9,14 @@
 package memory
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 )
+
+// ErrBadGeometry is wrapped by every NewGeometry validation failure, so
+// callers can classify configuration errors with errors.Is.
+var ErrBadGeometry = errors.New("memory: bad geometry")
 
 // Addr is a byte address in the simulated shared address space.
 type Addr uint64
@@ -51,13 +56,13 @@ type Geometry struct {
 // NewGeometry returns a Geometry for the given block and page sizes.
 func NewGeometry(blockSize, pageSize int) (Geometry, error) {
 	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
-		return Geometry{}, fmt.Errorf("memory: block size %d is not a positive power of two", blockSize)
+		return Geometry{}, fmt.Errorf("%w: block size %d is not a positive power of two", ErrBadGeometry, blockSize)
 	}
 	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
-		return Geometry{}, fmt.Errorf("memory: page size %d is not a positive power of two", pageSize)
+		return Geometry{}, fmt.Errorf("%w: page size %d is not a positive power of two", ErrBadGeometry, pageSize)
 	}
 	if pageSize < blockSize {
-		return Geometry{}, fmt.Errorf("memory: page size %d smaller than block size %d", pageSize, blockSize)
+		return Geometry{}, fmt.Errorf("%w: page size %d smaller than block size %d", ErrBadGeometry, pageSize, blockSize)
 	}
 	return Geometry{
 		blockSize: blockSize,

@@ -17,11 +17,16 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
 
 	"migratory/internal/memory"
 	"migratory/internal/trace"
 )
+
+// ErrUnknownEventKind is wrapped by ParseKind when no event kind matches,
+// so callers can classify the failure with errors.Is.
+var ErrUnknownEventKind = errors.New("obs: unknown event kind")
 
 // Kind enumerates the coherence event types.
 type Kind uint8
@@ -94,7 +99,7 @@ func ParseKind(name string) (Kind, error) {
 			return Kind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("obs: unknown event kind %q", name)
+	return 0, fmt.Errorf("%w: %q", ErrUnknownEventKind, name)
 }
 
 // Kinds lists every event kind in declaration order.

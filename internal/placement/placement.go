@@ -12,7 +12,9 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"migratory/internal/memory"
 	"migratory/internal/trace"
@@ -72,14 +74,28 @@ func (s *Static) Pages() int { return len(s.table) }
 // FirstTouch builds a static placement that assigns each page to the first
 // node that references it in the trace.
 func FirstTouch(accesses []trace.Access, geom memory.Geometry, nodes int) *Static {
+	s, err := FirstTouchSource(trace.NewSliceSource(accesses), geom, nodes)
+	if err != nil {
+		// A SliceSource never fails.
+		panic(err)
+	}
+	return s
+}
+
+// FirstTouchSource is FirstTouch over a streamed trace: one pass, state
+// proportional to the number of distinct pages.
+func FirstTouchSource(src trace.Reader, geom memory.Geometry, nodes int) (*Static, error) {
 	table := make(map[memory.PageID]memory.NodeID)
-	for _, a := range accesses {
+	err := each(src, func(a trace.Access) {
 		p := geom.Page(a.Addr)
 		if _, ok := table[p]; !ok {
 			table[p] = a.Node
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Static{name: "first-touch", table: table, fallback: NewRoundRobin(nodes)}
+	return &Static{name: "first-touch", table: table, fallback: NewRoundRobin(nodes)}, nil
 }
 
 // UsageBased builds the paper's "good static placement": each page is
@@ -87,8 +103,21 @@ func FirstTouch(accesses []trace.Access, geom memory.Geometry, nodes int) *Stati
 // ties broken toward the lower node ID. This is the profile-then-place
 // technique of Bolosky et al. and Stenström et al. cited in §3.3.
 func UsageBased(accesses []trace.Access, geom memory.Geometry, nodes int) *Static {
+	s, err := UsageBasedSource(trace.NewSliceSource(accesses), geom, nodes)
+	if err != nil {
+		// A SliceSource never fails.
+		panic(err)
+	}
+	return s
+}
+
+// UsageBasedSource is UsageBased over a streamed trace: one pass, state
+// proportional to the number of distinct pages. It is the profiling pass of
+// the two-pass trace-driven methodology; the caller Resets the source and
+// replays it for the protocol simulation proper.
+func UsageBasedSource(src trace.Reader, geom memory.Geometry, nodes int) (*Static, error) {
 	counts := make(map[memory.PageID]*[memory.MaxNodes]uint32)
-	for _, a := range accesses {
+	err := each(src, func(a trace.Access) {
 		p := geom.Page(a.Addr)
 		c, ok := counts[p]
 		if !ok {
@@ -96,6 +125,9 @@ func UsageBased(accesses []trace.Access, geom memory.Geometry, nodes int) *Stati
 			counts[p] = c
 		}
 		c[a.Node]++
+	})
+	if err != nil {
+		return nil, err
 	}
 	table := make(map[memory.PageID]memory.NodeID, len(counts))
 	for p, c := range counts {
@@ -107,21 +139,49 @@ func UsageBased(accesses []trace.Access, geom memory.Geometry, nodes int) *Stati
 		}
 		table[p] = best
 	}
-	return &Static{name: "usage-based", table: table, fallback: NewRoundRobin(nodes)}
+	return &Static{name: "usage-based", table: table, fallback: NewRoundRobin(nodes)}, nil
 }
 
 // LocalFraction reports the fraction of accesses in the trace whose page is
 // homed at the accessing node under the given policy. It is a direct
 // measure of placement quality.
 func LocalFraction(accesses []trace.Access, geom memory.Geometry, p Policy) float64 {
-	if len(accesses) == 0 {
-		return 0
+	f, err := LocalFractionSource(trace.NewSliceSource(accesses), geom, p)
+	if err != nil {
+		// A SliceSource never fails.
+		panic(err)
 	}
-	local := 0
-	for _, a := range accesses {
+	return f
+}
+
+// LocalFractionSource is LocalFraction over a streamed trace.
+func LocalFractionSource(src trace.Reader, geom memory.Geometry, p Policy) (float64, error) {
+	local, total := 0, 0
+	err := each(src, func(a trace.Access) {
+		total++
 		if p.Home(geom.Page(a.Addr)) == a.Node {
 			local++
 		}
+	})
+	if err != nil {
+		return 0, err
 	}
-	return float64(local) / float64(len(accesses))
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(local) / float64(total), nil
+}
+
+// each drains src through fn, folding io.EOF into a nil return.
+func each(src trace.Reader, fn func(trace.Access)) error {
+	for {
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fn(a)
+	}
 }

@@ -6,10 +6,8 @@ import (
 	"migratory/internal/core"
 	"migratory/internal/directory"
 	"migratory/internal/memory"
-	"migratory/internal/placement"
 	"migratory/internal/stats"
 	"migratory/internal/trace"
-	"migratory/internal/workload"
 )
 
 // Accuracy reports how well a protocol's on-line migratory detection
@@ -54,17 +52,34 @@ func (a Accuracy) Recall() float64 {
 // (the cleanest setting for judging the rules themselves).
 func ClassifierAccuracy(app string, opts Options, cacheBytes int) ([]Accuracy, error) {
 	opts = opts.withDefaults()
-	prof, err := workload.ProfileByName(app)
+	prepared, err := PrepareApp(app, opts)
 	if err != nil {
 		return nil, err
 	}
-	accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
-	if err != nil {
-		return nil, err
-	}
+	return ClassifierAccuracyApp(prepared, opts, cacheBytes)
+}
+
+// ClassifierAccuracyApp is ClassifierAccuracy over a caller-prepared app
+// (an external trace wrapped with NewApp or NewSourceApp). The off-line
+// ground truth comes from one streaming pass; each policy's run opens its
+// own source.
+func ClassifierAccuracyApp(prepared *App, opts Options, cacheBytes int) ([]Accuracy, error) {
+	opts = opts.withDefaults()
+	app := prepared.Name
 	geom := memory.MustGeometry(16, PageSize)
-	truth := trace.ClassifyBlocks(accs, geom)
-	pl := placement.UsageBased(accs, geom, opts.Nodes)
+	src, err := prepared.Open()
+	if err != nil {
+		return nil, err
+	}
+	truth, err := trace.ClassifyBlocksSource(src, geom)
+	cerr := src.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	pl := prepared.Placement
 
 	var adaptive []core.Policy
 	for _, pol := range opts.Policies {
@@ -73,7 +88,7 @@ func ClassifierAccuracy(app string, opts Options, cacheBytes int) ([]Accuracy, e
 		}
 	}
 	out := make([]Accuracy, len(adaptive))
-	err = runIndexed(len(adaptive), opts.workers(), func(i int) error {
+	err = runIndexed(opts.ctx(), len(adaptive), opts.workers(), func(i int) error {
 		pol := adaptive[i]
 		sys, err := directory.New(directory.Config{
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
@@ -82,7 +97,12 @@ func ClassifierAccuracy(app string, opts Options, cacheBytes int) ([]Accuracy, e
 		if err != nil {
 			return err
 		}
-		if err := sys.Run(accs); err != nil {
+		polSrc, err := prepared.Open()
+		if err != nil {
+			return err
+		}
+		defer polSrc.Close()
+		if err := sys.RunSource(opts.ctx(), polSrc); err != nil {
 			return err
 		}
 		detected := sys.EverMigratory()

@@ -41,19 +41,26 @@ type ExecRow struct {
 // latencies. cacheBytes of 0 uses 64 KB per node.
 func ExecutionTime(opts Options, policy core.Policy, cacheBytes int) ([]ExecRow, error) {
 	opts = opts.withDefaults()
-	if cacheBytes == 0 {
-		cacheBytes = 64 << 10
-	}
-	geom := memory.MustGeometry(16, PageSize)
 	apps, err := prepareApps(opts)
 	if err != nil {
 		return nil, err
 	}
+	return ExecutionTimeApps(apps, opts, policy, cacheBytes)
+}
+
+// ExecutionTimeApps is ExecutionTime over caller-prepared apps (external
+// traces wrapped with NewApp or NewSourceApp).
+func ExecutionTimeApps(apps []*App, opts Options, policy core.Policy, cacheBytes int) ([]ExecRow, error) {
+	opts = opts.withDefaults()
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 10
+	}
+	geom := memory.MustGeometry(16, PageSize)
 
 	// Two independent timing simulations per application (conventional and
 	// adaptive), fanned out together.
 	results := make([]timing.Result, 2*len(apps))
-	err = runIndexed(len(results), opts.workers(), func(i int) error {
+	err := runIndexed(opts.ctx(), len(results), opts.workers(), func(i int) error {
 		app := apps[i/2]
 		params := timing.DefaultParams()
 		if t, ok := execThink[app.Name]; ok {
@@ -63,11 +70,19 @@ func ExecutionTime(opts Options, policy core.Policy, cacheBytes int) ([]ExecRow,
 		if i%2 == 1 {
 			pol = policy
 		}
-		res, err := timing.Run(app.Trace, timing.Config{
+		src, err := app.Open()
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
+		}
+		defer src.Close()
+		res, err := timing.RunSource(opts.ctx(), src, timing.Config{
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
 			Policy: pol, Params: params,
 		})
 		if err != nil {
+			if cerr := opts.ctx().Err(); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
 		}
 		results[i] = res

@@ -7,9 +7,7 @@ import (
 	"migratory/internal/cost"
 	"migratory/internal/directory"
 	"migratory/internal/memory"
-	"migratory/internal/placement"
 	"migratory/internal/stats"
-	"migratory/internal/trace"
 	"migratory/internal/workload"
 )
 
@@ -45,19 +43,18 @@ func NodeCountSweep(app string, nodeCounts []int, opts Options) ([]NodeCountRow,
 	geom := memory.MustGeometry(16, PageSize)
 
 	// Each machine size has its own trace and placement; prepare them in
-	// parallel, then fan the (node count, policy) simulations out.
-	type prepared struct {
-		accs []trace.Access
-		pl   placement.Policy
-	}
-	preps := make([]prepared, len(nodeCounts))
+	// parallel (as apps, so streaming mode holds no trace in memory), then
+	// fan the (node count, policy) simulations out.
+	preps := make([]*App, len(nodeCounts))
 	workers := opts.workers()
-	err = runIndexed(len(nodeCounts), workers, func(i int) error {
-		accs, err := workload.Generate(prof, nodeCounts[i], opts.Seed, opts.Length)
+	err = runIndexed(opts.ctx(), len(nodeCounts), workers, func(i int) error {
+		perNode := opts
+		perNode.Nodes = nodeCounts[i]
+		a, err := PrepareApp(prof.Name, perNode)
 		if err != nil {
 			return err
 		}
-		preps[i] = prepared{accs: accs, pl: placement.UsageBased(accs, geom, nodeCounts[i])}
+		preps[i] = a
 		return nil
 	})
 	if err != nil {
@@ -66,16 +63,21 @@ func NodeCountSweep(app string, nodeCounts []int, opts Options) ([]NodeCountRow,
 
 	pols := core.Policies()
 	msgs := make([]cost.Msgs, len(nodeCounts)*len(pols))
-	err = runIndexed(len(msgs), workers, func(i int) error {
+	err = runIndexed(opts.ctx(), len(msgs), workers, func(i int) error {
 		ni, pi := i/len(pols), i%len(pols)
 		n := nodeCounts[ni]
 		sys, err := directory.New(directory.Config{
-			Nodes: n, Geometry: geom, Policy: pols[pi], Placement: preps[ni].pl,
+			Nodes: n, Geometry: geom, Policy: pols[pi], Placement: preps[ni].Placement,
 		})
 		if err != nil {
 			return err
 		}
-		if err := sys.Run(preps[ni].accs); err != nil {
+		src, err := preps[ni].Open()
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		if err := sys.RunSource(opts.ctx(), src); err != nil {
 			return err
 		}
 		msgs[i] = sys.Messages()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,10 +17,15 @@ import (
 // slice and assemble the output in index order afterwards, so results are
 // identical regardless of how the cells were scheduled.
 //
+// Cancellation: no new cell starts once ctx is done, and runIndexed
+// returns ctx.Err(); cells already running notice the same context through
+// the engines' RunSource loops, so a sweep stops mid-cell rather than
+// finishing the cells in flight.
+//
 // Errors: the lowest-indexed error is returned and new work stops being
 // issued as soon as any error is observed (tasks already running finish).
 // With workers <= 1 the loop degenerates to the plain sequential sweep.
-func runIndexed(n, workers int, fn func(i int) error) error {
+func runIndexed(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,6 +34,9 @@ func runIndexed(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -58,6 +67,9 @@ func runIndexed(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -73,6 +85,11 @@ func runIndexed(n, workers int, fn func(i int) error) error {
 
 	mu.Lock()
 	defer mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		// Cancellation wins: in-flight cells abort with the same ctx error,
+		// and the caller asked for exactly this outcome.
+		return err
+	}
 	return firstEr
 }
 

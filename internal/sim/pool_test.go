@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -12,7 +13,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			const n = 100
 			var hits [n]atomic.Int32
-			if err := runIndexed(n, workers, func(i int) error {
+			if err := runIndexed(context.Background(), n, workers, func(i int) error {
 				hits[i].Add(1)
 				return nil
 			}); err != nil {
@@ -28,7 +29,7 @@ func TestRunIndexedCoversAllIndices(t *testing.T) {
 }
 
 func TestRunIndexedEmpty(t *testing.T) {
-	if err := runIndexed(0, 4, func(int) error {
+	if err := runIndexed(context.Background(), 0, 4, func(int) error {
 		t.Fatal("fn called for n=0")
 		return nil
 	}); err != nil {
@@ -41,7 +42,7 @@ func TestRunIndexedReturnsLowestIndexedError(t *testing.T) {
 	// report the same error even when a higher index fails first.
 	wantErr := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		err := runIndexed(50, workers, func(i int) error {
+		err := runIndexed(context.Background(), 50, workers, func(i int) error {
 			if i == 7 || i == 30 {
 				return fmt.Errorf("index %d: %w", i, wantErr)
 			}
@@ -60,7 +61,7 @@ func TestRunIndexedReturnsLowestIndexedError(t *testing.T) {
 
 func TestRunIndexedStopsIssuingAfterError(t *testing.T) {
 	var calls atomic.Int32
-	err := runIndexed(1_000_000, 2, func(i int) error {
+	err := runIndexed(context.Background(), 1_000_000, 2, func(i int) error {
 		calls.Add(1)
 		return errors.New("fail fast")
 	})

@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"migratory/internal/core"
@@ -28,6 +29,11 @@ const PageSize = 4096
 
 // Options configures an experiment sweep.
 type Options struct {
+	// Context, when non-nil, cancels a sweep: no new cell starts after the
+	// context is done, cells in flight abort within a few thousand
+	// accesses, and the sweep returns ctx.Err(). nil behaves like
+	// context.Background().
+	Context context.Context
 	// Nodes is the processor count (paper: 16).
 	Nodes int
 	// Seed drives the workload generators.
@@ -38,6 +44,12 @@ type Options struct {
 	Apps []string
 	// Policies restricts the protocols (nil = the paper's four).
 	Policies []core.Policy
+	// Stream makes PrepareApp build streaming generator-backed apps instead
+	// of materialized traces: every simulation cell opens its own lazily
+	// generated source, so a sweep's trace memory is O(1) in the trace
+	// length (at the cost of regenerating the trace once per cell). Results
+	// are bit-identical to the materialized path.
+	Stream bool
 	// Parallelism bounds the worker goroutines the sweep drivers fan
 	// independent cells out on (0 = runtime.GOMAXPROCS(0), 1 = fully
 	// sequential). Every cell simulates a private System over a shared
@@ -58,6 +70,14 @@ type Options struct {
 	Probes func(app, variant string, cacheBytes, blockSize int) obs.Probe
 }
 
+// ctx resolves Options.Context (nil = context.Background()).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 func (o Options) withDefaults() Options {
 	if o.Nodes == 0 {
 		o.Nodes = 16
@@ -76,21 +96,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// App is a prepared application: its trace and usage-based placement.
+// App is a prepared application: a re-openable trace source and the
+// usage-based placement computed from a profiling pass over it. Every
+// simulation cell of a sweep opens its own source, so cells can run
+// concurrently and a streaming app never materializes its trace.
 type App struct {
 	Name      string
-	Trace     []trace.Access
 	Placement placement.Policy
+	open      func() (trace.Source, error)
 }
+
+// Open returns a fresh source positioned at the first access. The caller
+// must Close it. Concurrent opens are safe; each returned source is for a
+// single goroutine.
+func (a *App) Open() (trace.Source, error) { return a.open() }
 
 // PrepareApp generates the trace for one application and computes the
 // usage-based static placement over it. The geometry used for placement is
-// page-granular, so one preparation serves every block size.
+// page-granular, so one preparation serves every block size. With
+// opts.Stream the app is generator-backed: the trace is never materialized,
+// each Open replaying the generation lazily.
 func PrepareApp(name string, opts Options) (*App, error) {
 	opts = opts.withDefaults()
 	prof, err := workload.ProfileByName(name)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Stream {
+		nodes, seed, length := opts.Nodes, opts.Seed, opts.Length
+		return NewSourceApp(name, func() (trace.Source, error) {
+			return workload.NewSource(prof, nodes, seed, length)
+		}, nodes)
 	}
 	accs, err := workload.Generate(prof, opts.Nodes, opts.Seed, opts.Length)
 	if err != nil {
@@ -105,7 +141,7 @@ func PrepareApp(name string, opts Options) (*App, error) {
 // cell of a sweep.
 func prepareApps(opts Options) ([]*App, error) {
 	apps := make([]*App, len(opts.Apps))
-	err := runIndexed(len(apps), opts.workers(), func(i int) error {
+	err := runIndexed(opts.ctx(), len(apps), opts.workers(), func(i int) error {
 		app, err := PrepareApp(opts.Apps[i], opts)
 		if err != nil {
 			return err
@@ -121,14 +157,37 @@ func prepareApps(opts Options) ([]*App, error) {
 
 // NewApp wraps an externally supplied trace (for example one read from a
 // tracegen file) with a usage-based placement so it can drive the sweeps
-// exactly like a built-in application.
+// exactly like a built-in application. Opened sources share the slice
+// read-only; the caller must not mutate it.
 func NewApp(name string, accs []trace.Access, nodes int) *App {
 	geom := memory.MustGeometry(16, PageSize) // block size irrelevant for pages
 	return &App{
 		Name:      name,
-		Trace:     accs,
 		Placement: placement.UsageBased(accs, geom, nodes),
+		open: func() (trace.Source, error) {
+			return trace.NewSliceSource(accs), nil
+		},
 	}
+}
+
+// NewSourceApp builds an app from an arbitrary re-openable source factory
+// (a trace file, a lazy generator). The placement profiling pass opens and
+// drains one source; simulation cells open their own.
+func NewSourceApp(name string, open func() (trace.Source, error), nodes int) (*App, error) {
+	geom := memory.MustGeometry(16, PageSize) // block size irrelevant for pages
+	src, err := open()
+	if err != nil {
+		return nil, err
+	}
+	pl, err := placement.UsageBasedSource(src, geom, nodes)
+	cerr := src.Close()
+	if err != nil {
+		return nil, fmt.Errorf("sim: profiling %s: %w", name, err)
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return &App{Name: name, Placement: pl, open: open}, nil
 }
 
 // Cell is one protocol run's outcome.
@@ -170,7 +229,12 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 	if err != nil {
 		return Cell{}, err
 	}
-	if err := sys.Run(app.Trace); err != nil {
+	src, err := app.Open()
+	if err != nil {
+		return Cell{}, err
+	}
+	defer src.Close()
+	if err := sys.RunSource(opts.ctx(), src); err != nil {
 		return Cell{}, err
 	}
 	return Cell{
@@ -254,7 +318,7 @@ func directorySweep(opts Options, apps []*App, cacheSizes, blockSizes []int, gro
 	// matter how the cells were scheduled.
 	nGroups, nPols := len(sw.GroupValues), len(opts.Policies)
 	cells := make([]Cell, len(apps)*nGroups*nPols)
-	err := runIndexed(len(cells), opts.workers(), func(i int) error {
+	err := runIndexed(opts.ctx(), len(cells), opts.workers(), func(i int) error {
 		app := apps[i/(nGroups*nPols)]
 		gv := sw.GroupValues[(i/nPols)%nGroups]
 		pol := opts.Policies[i%nPols]
@@ -264,6 +328,9 @@ func directorySweep(opts Options, apps []*App, cacheSizes, blockSizes []int, gro
 		}
 		cell, err := RunDirectoryCell(app, opts, pol, cacheBytes, blockSize)
 		if err != nil {
+			if cerr := opts.ctx().Err(); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
 		}
 		cells[i] = cell
@@ -383,6 +450,17 @@ var BusCacheSizes = []int{64 << 10, 1 << 20}
 // out across opts.Parallelism workers.
 func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSweep, error) {
 	opts = opts.withDefaults()
+	apps, err := prepareApps(opts)
+	if err != nil {
+		return nil, err
+	}
+	return RunBusApps(apps, opts, cacheSizes, protocols)
+}
+
+// RunBusApps is RunBus over caller-prepared apps (external traces wrapped
+// with NewApp or NewSourceApp).
+func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSweep, error) {
+	opts = opts.withDefaults()
 	if cacheSizes == nil {
 		cacheSizes = BusCacheSizes
 	}
@@ -390,15 +468,11 @@ func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSwe
 		protocols = []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst}
 	}
 	sw := &BusSweep{Options: opts, CacheSizes: cacheSizes, Protocols: protocols, Rows: make(map[int][]BusRow)}
-	apps, err := prepareApps(opts)
-	if err != nil {
-		return nil, err
-	}
 	geom := memory.MustGeometry(16, PageSize)
 
 	nCaches, nProts := len(cacheSizes), len(protocols)
 	cells := make([]BusCell, len(apps)*nCaches*nProts)
-	err = runIndexed(len(cells), opts.workers(), func(i int) error {
+	err := runIndexed(opts.ctx(), len(cells), opts.workers(), func(i int) error {
 		app := apps[i/(nCaches*nProts)]
 		cb := cacheSizes[(i/nProts)%nCaches]
 		p := protocols[i%nProts]
@@ -416,7 +490,15 @@ func RunBus(opts Options, cacheSizes []int, protocols []snoop.Protocol) (*BusSwe
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
-		if err := sys.Run(app.Trace); err != nil {
+		src, err := app.Open()
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
+		}
+		defer src.Close()
+		if err := sys.RunSource(opts.ctx(), src); err != nil {
+			if cerr := opts.ctx().Err(); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
 		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts(), Probe: probe}

@@ -6,6 +6,7 @@ import (
 
 	"migratory/internal/core"
 	"migratory/internal/snoop"
+	"migratory/internal/trace"
 )
 
 // testOpts keeps sweep tests fast: shorter traces, a subset of parameters.
@@ -31,8 +32,17 @@ func TestPrepareApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if app.Name != "Water" || len(app.Trace) < 60_000 {
-		t.Fatalf("app = %s, %d accesses", app.Name, len(app.Trace))
+	src, err := app.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.ReadAll(src)
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name != "Water" || len(accs) < 60_000 {
+		t.Fatalf("app = %s, %d accesses", app.Name, len(accs))
 	}
 	if app.Placement == nil || app.Placement.Name() != "usage-based" {
 		t.Fatal("placement not usage-based")

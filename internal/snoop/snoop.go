@@ -11,7 +11,10 @@
 package snoop
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"migratory/internal/cache"
 	"migratory/internal/memory"
@@ -319,14 +322,54 @@ func (s *System) Migrations() uint64 { return s.migrations }
 // Hits returns read-hit and write-hit counts that needed no bus traffic.
 func (s *System) Hits() (read, write uint64) { return s.readHits, s.writeHits }
 
+// cancelCheckInterval is how many accesses run between context checks in
+// RunSource (see directory.RunSource for the tradeoff).
+const cancelCheckInterval = 4096
+
 // Run feeds a whole trace through the system.
 func (s *System) Run(accesses []trace.Access) error {
-	for i, a := range accesses {
+	return s.RunSource(nil, trace.NewSliceSource(accesses))
+}
+
+// RunSource feeds a streamed trace through the system, holding O(1) trace
+// memory. A nil ctx is treated as context.Background(); on cancellation
+// RunSource returns ctx.Err() within cancelCheckInterval accesses.
+func (s *System) RunSource(ctx context.Context, src trace.Source) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Fast path: slice-backed sources iterate the slice directly instead of
+	// paying an interface call per access.
+	if ss, ok := src.(*trace.SliceSource); ok {
+		for i, a := range ss.Rest() {
+			if i&(cancelCheckInterval-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := s.Access(a); err != nil {
+				return fmt.Errorf("access %d (%v): %w", i, a, err)
+			}
+		}
+		return nil
+	}
+	for i := 0; ; i++ {
+		if i&(cancelCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("snoop: trace source at access %d: %w", i, err)
+		}
 		if err := s.Access(a); err != nil {
 			return fmt.Errorf("access %d (%v): %w", i, a, err)
 		}
 	}
-	return nil
 }
 
 // Access applies one processor reference.

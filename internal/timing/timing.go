@@ -13,7 +13,10 @@
 package timing
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 
 	"migratory/internal/core"
 	"migratory/internal/cost"
@@ -112,6 +115,22 @@ type Config struct {
 	Params Params
 }
 
+// Validate checks the configuration. Run and RunSource call it; it is
+// exported so configurations can be checked before committing to a long
+// simulation.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 || c.Nodes > memory.MaxNodes {
+		return fmt.Errorf("timing: node count %d out of range [1,%d]", c.Nodes, memory.MaxNodes)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("timing: negative cache size %d", c.CacheBytes)
+	}
+	return nil
+}
+
 // Result reports one run.
 type Result struct {
 	// Cycles is the parallel execution time: the completion time of the
@@ -155,8 +174,22 @@ func (r Result) StallFraction() float64 {
 // as negligible — contention added "almost negligible" latency in their
 // runs) is not modeled.
 func Run(accesses []trace.Access, cfg Config) (Result, error) {
-	if cfg.Nodes <= 0 || cfg.Nodes > memory.MaxNodes {
-		return Result{}, fmt.Errorf("timing: node count %d out of range [1,%d]", cfg.Nodes, memory.MaxNodes)
+	return RunSource(nil, trace.NewSliceSource(accesses), cfg)
+}
+
+// cancelCheckInterval is how many accesses run between context checks in
+// RunSource (see directory.RunSource for the tradeoff).
+const cancelCheckInterval = 4096
+
+// RunSource is Run over a streamed trace, holding O(1) trace memory. A nil
+// ctx is treated as context.Background(); on cancellation RunSource
+// returns ctx.Err() within cancelCheckInterval accesses.
+func RunSource(ctx context.Context, src trace.Source, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	if cfg.Params == (Params{}) {
 		cfg.Params = DefaultParams()
@@ -177,7 +210,19 @@ func Run(accesses []trace.Access, cfg Config) (Result, error) {
 	res := Result{PerNode: make([]uint64, cfg.Nodes)}
 	// Per-home memory-controller busy horizon, for contention modeling.
 	ctrlFree := make([]uint64, cfg.Nodes)
-	for _, a := range accesses {
+	for i := 0; ; i++ {
+		if i&(cancelCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("timing: trace source at access %d: %w", i, err)
+		}
 		if int(a.Node) >= cfg.Nodes {
 			return Result{}, fmt.Errorf("timing: node %d out of range", a.Node)
 		}

@@ -142,6 +142,45 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Nodes: 16, Geometry: geom, Policy: core.Basic}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(*Config) {}, true},
+		{"valid with cache", func(c *Config) { c.CacheBytes = 64 << 10 }, true},
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }, false},
+		{"negative nodes", func(c *Config) { c.Nodes = -1 }, false},
+		{"too many nodes", func(c *Config) { c.Nodes = memory.MaxNodes + 1 }, false},
+		{"invalid policy", func(c *Config) { c.Policy = core.Policy{Name: "x", Adaptive: true} }, false},
+		{"negative cache", func(c *Config) { c.CacheBytes = -1 }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := valid
+			c.mutate(&cfg)
+			err := cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !c.ok {
+				if err == nil {
+					t.Fatal("Validate() accepted invalid config")
+				}
+				// Run and RunSource enforce the same check.
+				if _, runErr := Run(nil, cfg); runErr == nil {
+					t.Fatal("Run accepted invalid config")
+				}
+				if _, runErr := RunSource(nil, trace.NewSliceSource(nil), cfg); runErr == nil {
+					t.Fatal("RunSource accepted invalid config")
+				}
+			}
+		})
+	}
+}
+
 func TestStallFraction(t *testing.T) {
 	var r Result
 	if r.StallFraction() != 0 {

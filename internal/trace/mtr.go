@@ -1,0 +1,384 @@
+package trace
+
+// Streaming binary trace format, version 2 ("MTR2"):
+//
+//	magic    [4]byte "MTR2"
+//	header   uvarint blockSize   (0 = unspecified)
+//	         uvarint pageSize    (0 = unspecified)
+//	         uvarint nodes       (0 = unspecified)
+//	records  per access:
+//	         uvarint head        ((node<<1 | kind) + 1; never zero)
+//	         uvarint addrDelta   (zigzag-encoded signed delta from the
+//	                              previous record's address; first record
+//	                              is a delta from address 0)
+//	trailer  0x00                (terminator; impossible as a record head)
+//	         uvarint count       (number of records, as an integrity check)
+//
+// Consecutive accesses tend to be near one another in the address space, so
+// the zigzag deltas keep most records to two or three bytes versus MTR1's
+// fixed ten. More importantly the format streams: the decoder needs no
+// record count up front and holds O(1) state, and every truncation is
+// detectable without seeking — cutting the stream mid-varint leaves a byte
+// with the continuation bit set and no successor, cutting between records
+// removes the terminator/count trailer, and both cases surface as
+// ErrTruncated.
+//
+// The version-1 format (fixed-width records behind an up-front count, see
+// trace.go) remains readable: Decoder and FileSource accept either magic.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"migratory/internal/memory"
+)
+
+var magic2 = [4]byte{'M', 'T', 'R', '2'}
+
+// ErrTruncated is wrapped by decode errors caused by an input that ends
+// before the trace's trailer, e.g. a partially copied file.
+var ErrTruncated = errors.New("trace: truncated trace file")
+
+// ErrCorrupt is wrapped by decode errors caused by structurally invalid
+// input: overlong varints, impossible node numbers, a record count that
+// disagrees with the trailer, or trailing garbage.
+var ErrCorrupt = errors.New("trace: corrupt trace file")
+
+// Header carries the trace geometry recorded in an MTR2 file. Zero fields
+// mean the writer did not specify them; version-1 files always decode to a
+// zero Header.
+type Header struct {
+	BlockSize int // block size in bytes, 0 if unspecified
+	PageSize  int // page size in bytes, 0 if unspecified
+	Nodes     int // number of nodes, 0 if unspecified
+}
+
+// Geometry returns the header's block/page geometry, if fully specified
+// and valid.
+func (h Header) Geometry() (memory.Geometry, bool) {
+	if h.BlockSize == 0 || h.PageSize == 0 {
+		return memory.Geometry{}, false
+	}
+	g, err := memory.NewGeometry(h.BlockSize, h.PageSize)
+	if err != nil {
+		return memory.Geometry{}, false
+	}
+	return g, true
+}
+
+// Writer encodes accesses to the MTR2 format. Close must be called to emit
+// the trailer; a stream without it reads back as ErrTruncated.
+type Writer struct {
+	bw     *bufio.Writer
+	hdr    Header
+	prev   memory.Addr
+	count  uint64
+	err    error
+	closed bool
+}
+
+// NewWriter returns a Writer emitting to w. The header is written
+// immediately. Header fields may be zero (unspecified), but a negative
+// field or a Nodes beyond memory.MaxNodes is rejected at the first Write.
+func NewWriter(w io.Writer, hdr Header) *Writer {
+	tw := &Writer{bw: bufio.NewWriter(w), hdr: hdr}
+	if hdr.BlockSize < 0 || hdr.PageSize < 0 || hdr.Nodes < 0 || hdr.Nodes > memory.MaxNodes {
+		tw.err = fmt.Errorf("trace: invalid header %+v", hdr)
+		return tw
+	}
+	if _, err := tw.bw.Write(magic2[:]); err != nil {
+		tw.err = err
+		return tw
+	}
+	tw.putUvarint(uint64(hdr.BlockSize))
+	tw.putUvarint(uint64(hdr.PageSize))
+	tw.putUvarint(uint64(hdr.Nodes))
+	return tw
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.bw.Write(buf[:n])
+}
+
+// Write appends one access to the stream.
+func (w *Writer) Write(a Access) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		w.err = errors.New("trace: Write after Close")
+		return w.err
+	}
+	if a.Kind > Write {
+		w.err = fmt.Errorf("trace: cannot encode access with kind %v", a.Kind)
+		return w.err
+	}
+	if w.hdr.Nodes > 0 && int(a.Node) >= w.hdr.Nodes {
+		w.err = fmt.Errorf("trace: access node %d outside header node count %d", a.Node, w.hdr.Nodes)
+		return w.err
+	}
+	w.putUvarint((uint64(a.Node)<<1 | uint64(a.Kind)) + 1)
+	delta := int64(a.Addr) - int64(w.prev)
+	w.putUvarint(uint64(delta<<1) ^ uint64(delta>>63)) // zigzag
+	w.prev = a.Addr
+	w.count++
+	return w.err
+}
+
+// Close writes the trailer and flushes. It does not close the underlying
+// io.Writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.bw.WriteByte(0); err != nil {
+		w.err = err
+		return err
+	}
+	w.putUvarint(w.count)
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Copy streams every access from r into w and returns the number copied.
+// It does not Close the Writer; the caller decides when the trailer goes
+// out.
+func Copy(w *Writer, r Reader) (int, error) {
+	n := 0
+	for {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.Write(a); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Decoder streams accesses out of a binary trace (MTR2 or the legacy MTR1
+// format) with O(1) memory.
+type Decoder struct {
+	br        *bufio.Reader
+	hdr       Header
+	legacy    bool   // MTR1 input
+	remaining uint64 // MTR1: records left
+	prev      memory.Addr
+	count     uint64
+	done      bool
+}
+
+// NewDecoder reads the magic and header from r and returns a Decoder
+// positioned at the first record.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", coalesceEOF(err))
+	}
+	d := &Decoder{br: br}
+	switch m {
+	case magic2:
+		bs, err := d.uvarint("header block size")
+		if err != nil {
+			return nil, err
+		}
+		ps, err := d.uvarint("header page size")
+		if err != nil {
+			return nil, err
+		}
+		nodes, err := d.uvarint("header node count")
+		if err != nil {
+			return nil, err
+		}
+		const maxGeom = 1 << 30
+		if bs > maxGeom || ps > maxGeom || nodes > memory.MaxNodes {
+			return nil, fmt.Errorf("trace: implausible header (block %d, page %d, nodes %d): %w", bs, ps, nodes, ErrCorrupt)
+		}
+		d.hdr = Header{BlockSize: int(bs), PageSize: int(ps), Nodes: int(nodes)}
+	case magic:
+		d.legacy = true
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading count: %w", coalesceEOF(err))
+		}
+		d.remaining = binary.LittleEndian.Uint64(hdr[:])
+		const sanityMax = 1 << 32
+		if d.remaining > sanityMax {
+			return nil, fmt.Errorf("trace: implausible record count %d: %w", d.remaining, ErrCorrupt)
+		}
+	default:
+		return nil, ErrBadMagic
+	}
+	return d, nil
+}
+
+// coalesceEOF folds the two flavors of premature end-of-input into
+// ErrTruncated; other errors pass through.
+func coalesceEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+func (d *Decoder) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, fmt.Errorf("trace: reading %s: %w", what, coalesceEOF(err))
+		}
+		return 0, fmt.Errorf("trace: reading %s: %w: %v", what, ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+// Header returns the geometry header (zero for legacy MTR1 input).
+func (d *Decoder) Header() Header { return d.hdr }
+
+// Next returns the next access, or io.EOF after the final one. Any other
+// error wraps ErrTruncated or ErrCorrupt.
+func (d *Decoder) Next() (Access, error) {
+	if d.done {
+		return Access{}, io.EOF
+	}
+	if d.legacy {
+		return d.nextLegacy()
+	}
+	head, err := d.uvarint(fmt.Sprintf("record %d head", d.count))
+	if err != nil {
+		return Access{}, err
+	}
+	if head == 0 {
+		// Terminator: check the count trailer and demand clean EOF.
+		n, err := d.uvarint("trailer count")
+		if err != nil {
+			return Access{}, err
+		}
+		if n != d.count {
+			return Access{}, fmt.Errorf("trace: trailer count %d != %d records decoded: %w", n, d.count, ErrCorrupt)
+		}
+		if _, err := d.br.ReadByte(); err == nil {
+			return Access{}, fmt.Errorf("trace: trailing bytes after trailer: %w", ErrCorrupt)
+		} else if !errors.Is(err, io.EOF) {
+			return Access{}, err
+		}
+		d.done = true
+		return Access{}, io.EOF
+	}
+	kn := head - 1
+	node := kn >> 1
+	if node > 0xFF || (d.hdr.Nodes > 0 && node >= uint64(d.hdr.Nodes)) {
+		return Access{}, fmt.Errorf("trace: record %d has impossible node %d: %w", d.count, node, ErrCorrupt)
+	}
+	enc, err := d.uvarint(fmt.Sprintf("record %d address", d.count))
+	if err != nil {
+		return Access{}, err
+	}
+	delta := int64(enc>>1) ^ -int64(enc&1) // un-zigzag
+	addr := memory.Addr(int64(d.prev) + delta)
+	d.prev = addr
+	d.count++
+	return Access{Node: memory.NodeID(node), Kind: Kind(kn & 1), Addr: addr}, nil
+}
+
+func (d *Decoder) nextLegacy() (Access, error) {
+	if d.remaining == 0 {
+		d.done = true
+		return Access{}, io.EOF
+	}
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(d.br, rec[:]); err != nil {
+		return Access{}, fmt.Errorf("trace: reading record %d: %w", d.count, coalesceEOF(err))
+	}
+	d.remaining--
+	d.count++
+	return Access{
+		Node: memory.NodeID(rec[0]),
+		Kind: Kind(rec[1]),
+		Addr: memory.Addr(binary.LittleEndian.Uint64(rec[2:])),
+	}, nil
+}
+
+// FileSource is a Source decoding a binary trace (MTR1 or MTR2) from a
+// seekable stream, typically a file. Reset seeks back to the start and
+// re-reads the header, so the two-pass placement/simulation workflow works
+// without ever materializing the trace.
+type FileSource struct {
+	r      io.ReadSeeker
+	dec    *Decoder
+	closer io.Closer // non-nil when OpenFile owns the descriptor
+}
+
+// OpenFile opens path as a FileSource. The caller must Close it.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewFileSource(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src.closer = f
+	return src, nil
+}
+
+// NewFileSource wraps an existing seekable stream. The stream must be
+// positioned at the start of the trace; Close does not close it.
+func NewFileSource(r io.ReadSeeker) (*FileSource, error) {
+	dec, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{r: r, dec: dec}, nil
+}
+
+// Header returns the geometry header (zero for legacy MTR1 files).
+func (s *FileSource) Header() Header { return s.dec.Header() }
+
+// Next implements Source.
+func (s *FileSource) Next() (Access, error) { return s.dec.Next() }
+
+// Reset implements Source by seeking back to the start of the stream.
+func (s *FileSource) Reset() error {
+	if _, err := s.r.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	dec, err := NewDecoder(s.r)
+	if err != nil {
+		return err
+	}
+	s.dec = dec
+	return nil
+}
+
+// Close implements Source, closing the underlying file when the source was
+// created by OpenFile.
+func (s *FileSource) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}

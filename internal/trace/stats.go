@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -102,27 +104,57 @@ func (h *blockHistory) observe(a Access) {
 	h.nodes = h.nodes.Add(a.Node)
 }
 
-func buildHistories(accesses []Access, geom memory.Geometry) map[memory.BlockID]*blockHistory {
-	blocks := make(map[memory.BlockID]*blockHistory)
-	for _, a := range accesses {
-		b := geom.Block(a.Addr)
-		h, ok := blocks[b]
-		if !ok {
-			h = &blockHistory{firstNode: a.Node, curNode: a.Node}
-			blocks[b] = h
-		}
-		h.observe(a)
+func observeBlock(blocks map[memory.BlockID]*blockHistory, a Access, geom memory.Geometry) {
+	b := geom.Block(a.Addr)
+	h, ok := blocks[b]
+	if !ok {
+		h = &blockHistory{firstNode: a.Node, curNode: a.Node}
+		blocks[b] = h
 	}
-	return blocks
+	h.observe(a)
+}
+
+func buildHistories(src Reader, geom memory.Geometry) (map[memory.BlockID]*blockHistory, error) {
+	blocks := make(map[memory.BlockID]*blockHistory)
+	for {
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return blocks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		observeBlock(blocks, a, geom)
+	}
 }
 
 // Analyze computes Stats for a trace under the given geometry.
 func Analyze(accesses []Access, geom memory.Geometry) Stats {
+	st, err := AnalyzeSource(NewSliceSource(accesses), geom)
+	if err != nil {
+		// A SliceSource never fails.
+		panic(err)
+	}
+	return st
+}
+
+// AnalyzeSource computes Stats for a streamed trace in a single pass. The
+// census state is proportional to the trace's footprint (distinct blocks
+// and pages), never to its length.
+func AnalyzeSource(src Reader, geom memory.Geometry) (Stats, error) {
 	var st Stats
 	pages := make(map[memory.PageID]struct{})
 	perNode := make(map[memory.NodeID]int)
+	blocks := make(map[memory.BlockID]*blockHistory)
 
-	for _, a := range accesses {
+	for {
+		a, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Stats{}, err
+		}
 		st.Accesses++
 		if a.Kind == Read {
 			st.Reads++
@@ -131,8 +163,8 @@ func Analyze(accesses []Access, geom memory.Geometry) Stats {
 		}
 		perNode[a.Node]++
 		pages[geom.Page(a.Addr)] = struct{}{}
+		observeBlock(blocks, a, geom)
 	}
-	blocks := buildHistories(accesses, geom)
 
 	st.Blocks = len(blocks)
 	st.Pages = len(pages)
@@ -162,7 +194,7 @@ func Analyze(accesses []Access, geom memory.Geometry) Stats {
 			st.OtherBlocks++
 		}
 	}
-	return st
+	return st, nil
 }
 
 func classify(h *blockHistory) BlockPattern {
@@ -186,12 +218,26 @@ func classify(h *blockHistory) BlockPattern {
 // analysis (§5's load-with-intent-to-modify discussion) would have: it sees
 // the whole future, where the on-line protocols can only react to the past.
 func ClassifyBlocks(accesses []Access, geom memory.Geometry) map[memory.BlockID]BlockPattern {
-	blocks := buildHistories(accesses, geom)
+	out, err := ClassifyBlocksSource(NewSliceSource(accesses), geom)
+	if err != nil {
+		// A SliceSource never fails.
+		panic(err)
+	}
+	return out
+}
+
+// ClassifyBlocksSource is ClassifyBlocks over a streamed trace: one pass,
+// state proportional to the number of distinct blocks.
+func ClassifyBlocksSource(src Reader, geom memory.Geometry) (map[memory.BlockID]BlockPattern, error) {
+	blocks, err := buildHistories(src, geom)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[memory.BlockID]BlockPattern, len(blocks))
 	for b, h := range blocks {
 		out[b] = classify(h)
 	}
-	return out
+	return out, nil
 }
 
 // String renders a human-readable multi-line summary.

@@ -60,20 +60,37 @@ type Reader interface {
 	Next() (Access, error)
 }
 
-// Slice adapts an in-memory access sequence to the Reader interface.
-type Slice struct {
+// Source is a pull-based stream of accesses that can be replayed. Every
+// simulator in the repository consumes traces through this interface, so a
+// trace never has to be materialized as a slice: it may live in memory
+// (SliceSource), be generated lazily (workload.Source), or be decoded from
+// a binary file (FileSource).
+//
+// Next returns io.EOF after the final access. Reset rewinds the stream to
+// the first access; trace-driven simulation is two-pass (page placement,
+// then protocol simulation), so rewinding is part of the normal workflow.
+// Close releases any underlying resources; after Close the source must not
+// be used.
+type Source interface {
+	Reader
+	Reset() error
+	Close() error
+}
+
+// SliceSource adapts an in-memory access sequence to the Source interface.
+type SliceSource struct {
 	accesses []Access
 	pos      int
 }
 
-// NewSlice returns a Reader over the given accesses. The slice is not
-// copied; the caller must not mutate it while reading.
-func NewSlice(accesses []Access) *Slice {
-	return &Slice{accesses: accesses}
+// NewSliceSource returns a Source over the given accesses. The slice is
+// not copied; the caller must not mutate it while reading.
+func NewSliceSource(accesses []Access) *SliceSource {
+	return &SliceSource{accesses: accesses}
 }
 
-// Next implements Reader.
-func (s *Slice) Next() (Access, error) {
+// Next implements Source.
+func (s *SliceSource) Next() (Access, error) {
 	if s.pos >= len(s.accesses) {
 		return Access{}, io.EOF
 	}
@@ -82,13 +99,27 @@ func (s *Slice) Next() (Access, error) {
 	return a, nil
 }
 
-// Reset rewinds the reader to the first access. Trace-driven simulation is
-// two-pass (page placement, then protocol simulation), so rewinding is part
-// of the normal workflow.
-func (s *Slice) Reset() { s.pos = 0 }
+// Reset implements Source; it never fails.
+func (s *SliceSource) Reset() error {
+	s.pos = 0
+	return nil
+}
+
+// Close implements Source; it never fails.
+func (s *SliceSource) Close() error { return nil }
 
 // Len returns the total number of accesses.
-func (s *Slice) Len() int { return len(s.accesses) }
+func (s *SliceSource) Len() int { return len(s.accesses) }
+
+// Rest returns the not-yet-consumed tail of the underlying slice and marks
+// the source as drained. The protocol engines use it as a fast path: when a
+// Source is really a slice they iterate the slice directly instead of
+// paying an interface call per access.
+func (s *SliceSource) Rest() []Access {
+	rest := s.accesses[s.pos:]
+	s.pos = len(s.accesses)
+	return rest
+}
 
 // ReadAll drains a Reader into a slice.
 func ReadAll(r Reader) ([]Access, error) {

@@ -28,12 +28,12 @@ func TestAccessString(t *testing.T) {
 	}
 }
 
-func TestSliceReader(t *testing.T) {
+func TestSliceSource(t *testing.T) {
 	accs := []Access{
 		{Node: 0, Kind: Read, Addr: 0},
 		{Node: 1, Kind: Write, Addr: 16},
 	}
-	s := NewSlice(accs)
+	s := NewSliceSource(accs)
 	if s.Len() != 2 {
 		t.Fatalf("Len = %d", s.Len())
 	}
@@ -44,21 +44,36 @@ func TestSliceReader(t *testing.T) {
 	if !reflect.DeepEqual(got, accs) {
 		t.Fatalf("ReadAll = %v; want %v", got, accs)
 	}
-	// Exhausted reader keeps returning EOF.
+	// Exhausted source keeps returning EOF.
 	if _, err := s.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("Next after EOF: %v", err)
 	}
-	s.Reset()
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
 	a, err := s.Next()
 	if err != nil || a != accs[0] {
 		t.Fatalf("after Reset: %v %v", a, err)
 	}
+	// Rest returns the unconsumed tail and drains the source.
+	if rest := s.Rest(); !reflect.DeepEqual(rest, accs[1:]) {
+		t.Fatalf("Rest = %v; want %v", rest, accs[1:])
+	}
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after Rest: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestEmptySlice(t *testing.T) {
-	s := NewSlice(nil)
+	s := NewSliceSource(nil)
 	if _, err := s.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("empty Next: %v", err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
 	}
 	got, err := ReadAll(s)
 	if err != nil || len(got) != 0 {

@@ -1,6 +1,13 @@
 package workload
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownProfile is wrapped by ProfileByName when no built-in profile
+// matches, so callers can classify the failure with errors.Is.
+var ErrUnknownProfile = errors.New("workload: unknown profile")
 
 // The five benchmark profiles. Shared-memory footprints follow §3.1 of the
 // paper (Cholesky 1476 KB, LocusRoute 1232 KB, MP3D 552 KB, Pthor 2676 KB,
@@ -84,7 +91,7 @@ func ProfileByName(name string) (Profile, error) {
 			return p, nil
 		}
 	}
-	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+	return Profile{}, fmt.Errorf("%w: %q", ErrUnknownProfile, name)
 }
 
 // Scale returns a copy of the profile with every segment's object count

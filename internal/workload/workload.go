@@ -21,6 +21,7 @@ package workload
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"migratory/internal/memory"
@@ -250,15 +251,27 @@ func (st *segState) pickObject(rng *rand.Rand) int {
 	return (start + rng.Intn(size)) % st.seg.Objects
 }
 
-// episode is a node's in-flight access sequence.
+// episode is a node's in-flight access sequence. Its accs buffer is reused
+// across episodes of the same node, so steady-state generation does not
+// allocate per episode (which keeps streamed sweeps at constant memory).
 type episode struct {
 	accs []trace.Access
 	pos  int
-	// unlock, when non-nil, releases the object lock at episode end.
-	unlock func()
+	// lockSeg/lockObj, when lockSeg is non-nil, identify the object lock to
+	// release at episode end.
+	lockSeg *segState
+	lockObj int
 }
 
 func (e *episode) done() bool { return e.pos >= len(e.accs) }
+
+// release drops the episode's object lock, if it holds one.
+func (e *episode) release() {
+	if e.lockSeg != nil {
+		e.lockSeg.locked[e.lockObj] = false
+		e.lockSeg = nil
+	}
+}
 
 // NewGenerator builds a generator for the profile. The profile must be
 // valid and nodes in [2, memory.MaxNodes].
@@ -298,30 +311,41 @@ func NewGenerator(p Profile, nodes int, seed int64) (*Generator, error) {
 	return g, nil
 }
 
-// Generate emits approximately n accesses (rounded up to whole episodes).
+// Generate emits exactly n accesses into a fresh slice.
 func (g *Generator) Generate(n int) []trace.Access {
 	out := make([]trace.Access, 0, n+64)
 	for len(out) < n {
+		out = append(out, g.next())
+	}
+	return out
+}
+
+// next emits the next access of the interleaved trace. Generate and the
+// streaming Source both funnel through it, consuming the generator's random
+// stream in exactly the same order, so a streamed trace is bit-identical to
+// a materialized one.
+func (g *Generator) next() trace.Access {
+	for {
 		node := memory.NodeID(g.rng.Intn(g.nodes))
 		ep := &g.episodes[node]
 		if ep.done() {
-			if ep.unlock != nil {
-				ep.unlock()
-				ep.unlock = nil
+			ep.release()
+			buf := ep.accs[:0]
+			*ep = g.newEpisode(node, buf)
+			if ep.accs == nil {
+				ep.accs = buf // keep the buffer across empty episodes
 			}
-			*ep = g.newEpisode(node)
 			if ep.done() {
 				continue // node found nothing runnable this tick
 			}
 		}
-		out = append(out, ep.accs[ep.pos])
+		a := ep.accs[ep.pos]
 		ep.pos++
-		if ep.done() && ep.unlock != nil {
-			ep.unlock()
-			ep.unlock = nil
+		if ep.done() {
+			ep.release()
 		}
+		return a
 	}
-	return out
 }
 
 func (g *Generator) pickSegment() *segState {
@@ -334,17 +358,17 @@ func (g *Generator) pickSegment() *segState {
 	return g.segs[len(g.segs)-1]
 }
 
-func (g *Generator) newEpisode(n memory.NodeID) episode {
+func (g *Generator) newEpisode(n memory.NodeID, buf []trace.Access) episode {
 	st := g.pickSegment()
 	switch st.seg.Kind {
 	case Migratory:
-		return g.migratoryEpisode(st, n)
+		return g.migratoryEpisode(st, n, buf)
 	case ReadShared:
-		return g.readSharedEpisode(st, n)
+		return g.readSharedEpisode(st, n, buf)
 	case ProducerConsumer:
-		return g.producerConsumerEpisode(st, n)
+		return g.producerConsumerEpisode(st, n, buf)
 	case MostlyPrivate:
-		return g.mostlyPrivateEpisode(st, n)
+		return g.mostlyPrivateEpisode(st, n, buf)
 	}
 	return episode{}
 }
@@ -361,29 +385,27 @@ func (st *segState) addr(obj, word int) memory.Addr {
 	return st.base + memory.Addr(obj*st.seg.stride()+word*wordSize)
 }
 
-// rwSweep builds a read-all-then-write-all access list over the first
-// `words` words of an object: the access pattern of a critical section that
-// inspects and then updates a record.
-func (st *segState) rwSweep(n memory.NodeID, obj, words int) []trace.Access {
-	accs := make([]trace.Access, 0, 2*words)
+// rwSweep appends a read-all-then-write-all access list over the first
+// `words` words of an object — the access pattern of a critical section
+// that inspects and then updates a record — into buf and returns it.
+func (st *segState) rwSweep(buf []trace.Access, n memory.NodeID, obj, words int) []trace.Access {
 	for w := 0; w < words; w++ {
-		accs = append(accs, trace.Access{Node: n, Kind: trace.Read, Addr: st.addr(obj, w)})
+		buf = append(buf, trace.Access{Node: n, Kind: trace.Read, Addr: st.addr(obj, w)})
 	}
 	for w := 0; w < words; w++ {
-		accs = append(accs, trace.Access{Node: n, Kind: trace.Write, Addr: st.addr(obj, w)})
+		buf = append(buf, trace.Access{Node: n, Kind: trace.Write, Addr: st.addr(obj, w)})
 	}
-	return accs
+	return buf
 }
 
-func (st *segState) readSweep(n memory.NodeID, obj, words int) []trace.Access {
-	accs := make([]trace.Access, 0, words)
+func (st *segState) readSweep(buf []trace.Access, n memory.NodeID, obj, words int) []trace.Access {
 	for w := 0; w < words; w++ {
-		accs = append(accs, trace.Access{Node: n, Kind: trace.Read, Addr: st.addr(obj, w)})
+		buf = append(buf, trace.Access{Node: n, Kind: trace.Read, Addr: st.addr(obj, w)})
 	}
-	return accs
+	return buf
 }
 
-func (g *Generator) migratoryEpisode(st *segState, n memory.NodeID) episode {
+func (g *Generator) migratoryEpisode(st *segState, n memory.NodeID, buf []trace.Access) episode {
 	n = st.nodeInSharers(n, g.nodes)
 	// Find an unlocked object this node did not own last (a node re-taking
 	// its own lock immediately is possible but rare in the modeled apps).
@@ -398,26 +420,26 @@ func (g *Generator) migratoryEpisode(st *segState, n memory.NodeID) episode {
 		st.locked[obj] = true
 		st.lastOwner[obj] = n
 		return episode{
-			accs:   st.rwSweep(n, obj, st.seg.sweepWords()),
-			unlock: func() { st.locked[obj] = false },
+			accs:    st.rwSweep(buf, n, obj, st.seg.sweepWords()),
+			lockSeg: st, lockObj: obj,
 		}
 	}
 	return episode{}
 }
 
-func (g *Generator) readSharedEpisode(st *segState, n memory.NodeID) episode {
+func (g *Generator) readSharedEpisode(st *segState, n memory.NodeID, buf []trace.Access) episode {
 	obj := st.pickObject(g.rng)
 	words := st.seg.sweepWords()
 	if st.seg.WriteEveryN > 0 && g.rng.Intn(st.seg.WriteEveryN) == 0 && !st.locked[obj] {
 		st.locked[obj] = true
 		return episode{
-			accs:   st.rwSweep(n, obj, words),
-			unlock: func() { st.locked[obj] = false },
+			accs:    st.rwSweep(buf, n, obj, words),
+			lockSeg: st, lockObj: obj,
 		}
 	}
 	k := st.seg.EpisodeObjects
 	if k <= 1 {
-		return episode{accs: st.readSweep(n, obj, words)}
+		return episode{accs: st.readSweep(buf, n, obj, words)}
 	}
 	// Chunked sweep: node n reads k consecutive objects at its own cursor
 	// within the current window, cycling so that the node re-reads the
@@ -426,16 +448,15 @@ func (g *Generator) readSharedEpisode(st *segState, n memory.NodeID) episode {
 	if k > size {
 		k = size
 	}
-	var accs []trace.Access
 	for i := 0; i < k; i++ {
 		o := (start + (st.cursor[n]+i)%size) % st.seg.Objects
-		accs = append(accs, st.readSweep(n, o, words)...)
+		buf = st.readSweep(buf, n, o, words)
 	}
 	st.cursor[n] = (st.cursor[n] + k) % size
-	return episode{accs: accs}
+	return episode{accs: buf}
 }
 
-func (g *Generator) producerConsumerEpisode(st *segState, n memory.NodeID) episode {
+func (g *Generator) producerConsumerEpisode(st *segState, n memory.NodeID, buf []trace.Access) episode {
 	// Each object has a fixed producer derived from its index.
 	for try := 0; try < 8; try++ {
 		obj := st.pickObject(g.rng)
@@ -451,8 +472,8 @@ func (g *Generator) producerConsumerEpisode(st *segState, n memory.NodeID) episo
 			st.locked[obj] = true
 			st.produced[obj] = true
 			return episode{
-				accs:   writeSweep(st, n, obj, words),
-				unlock: func() { st.locked[obj] = false },
+				accs:    writeSweep(st, buf, n, obj, words),
+				lockSeg: st, lockObj: obj,
 			}
 		}
 		if n == producer {
@@ -461,22 +482,21 @@ func (g *Generator) producerConsumerEpisode(st *segState, n memory.NodeID) episo
 		st.locked[obj] = true
 		st.produced[obj] = false
 		return episode{
-			accs:   st.readSweep(n, obj, words),
-			unlock: func() { st.locked[obj] = false },
+			accs:    st.readSweep(buf, n, obj, words),
+			lockSeg: st, lockObj: obj,
 		}
 	}
 	return episode{}
 }
 
-func writeSweep(st *segState, n memory.NodeID, obj, words int) []trace.Access {
-	accs := make([]trace.Access, 0, words)
+func writeSweep(st *segState, buf []trace.Access, n memory.NodeID, obj, words int) []trace.Access {
 	for w := 0; w < words; w++ {
-		accs = append(accs, trace.Access{Node: n, Kind: trace.Write, Addr: st.addr(obj, w)})
+		buf = append(buf, trace.Access{Node: n, Kind: trace.Write, Addr: st.addr(obj, w)})
 	}
-	return accs
+	return buf
 }
 
-func (g *Generator) mostlyPrivateEpisode(st *segState, n memory.NodeID) episode {
+func (g *Generator) mostlyPrivateEpisode(st *segState, n memory.NodeID, buf []trace.Access) episode {
 	words := st.seg.sweepWords()
 	// 90% of episodes work on the node's own objects (read/write); 10%
 	// read a random other node's object.
@@ -491,12 +511,12 @@ func (g *Generator) mostlyPrivateEpisode(st *segState, n memory.NodeID) episode 
 		st.locked[own] = true
 		st.lastOwner[own] = n
 		return episode{
-			accs:   st.rwSweep(n, own, words),
-			unlock: func() { st.locked[own] = false },
+			accs:    st.rwSweep(buf, n, own, words),
+			lockSeg: st, lockObj: own,
 		}
 	}
 	obj := g.rng.Intn(st.seg.Objects)
-	return episode{accs: st.readSweep(n, obj, words)}
+	return episode{accs: st.readSweep(buf, n, obj, words)}
 }
 
 // ownObject picks a random object owned by node n. Objects are partitioned
@@ -525,3 +545,58 @@ func Generate(p Profile, nodes int, seed int64, length int) ([]trace.Access, err
 	}
 	return g.Generate(length), nil
 }
+
+// Source streams a generated trace access by access without ever
+// materializing it: memory use is the generator's own state (segment
+// bookkeeping plus in-flight episodes), independent of the trace length.
+// The stream is bit-identical to Generate with the same parameters, and
+// Reset replays it from the beginning by rebuilding the generator, so the
+// two-pass placement/simulation workflow works unchanged.
+type Source struct {
+	prof    Profile
+	nodes   int
+	seed    int64
+	length  int
+	g       *Generator
+	emitted int
+}
+
+// NewSource returns a streaming Source for the profile (length 0 = the
+// profile's default length).
+func NewSource(p Profile, nodes int, seed int64, length int) (*Source, error) {
+	g, err := NewGenerator(p, nodes, seed)
+	if err != nil {
+		return nil, err
+	}
+	if length == 0 {
+		length = p.DefaultLength
+	}
+	return &Source{prof: p, nodes: nodes, seed: seed, length: length, g: g}, nil
+}
+
+// Len returns the total number of accesses the source will emit.
+func (s *Source) Len() int { return s.length }
+
+// Next implements trace.Source.
+func (s *Source) Next() (trace.Access, error) {
+	if s.emitted >= s.length {
+		return trace.Access{}, io.EOF
+	}
+	s.emitted++
+	return s.g.next(), nil
+}
+
+// Reset implements trace.Source by rebuilding the generator from the
+// original parameters.
+func (s *Source) Reset() error {
+	g, err := NewGenerator(s.prof, s.nodes, s.seed)
+	if err != nil {
+		return err
+	}
+	s.g = g
+	s.emitted = 0
+	return nil
+}
+
+// Close implements trace.Source; it never fails.
+func (s *Source) Close() error { return nil }
