@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz ci inspect-demo
+.PHONY: build test race vet bench bench-check fuzz ci inspect-demo profile
 
 # Seconds of fuzzing per target in `make fuzz` (kept short for CI).
 FUZZTIME ?= 10s
@@ -22,6 +22,14 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x ./...
 
+# Re-measure the key hot-loop benchmarks and compare their rows in
+# results/bench_sweep.json against the committed baseline
+# (results/bench_baseline.json), failing on regression beyond tolerance.
+# The benchmarks refresh the sweep file as a side effect of running.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead' -benchtime 10x -benchmem .
+	$(GO) run ./cmd/benchcheck
+
 # Short fuzz pass over every fuzz target; go test allows one -fuzz pattern
 # per invocation, so each target gets its own run.
 fuzz:
@@ -30,8 +38,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceCodec$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMTRRoundTrip$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzMTRDecode$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchBoundary$$' -fuzztime $(FUZZTIME) .
 
 ci: build vet test race
+
+# Profile the Table 2 sweep hot loop: run migsim under the CPU and heap
+# profilers and print the top CPU consumers. Open the .pprof files with
+# `go tool pprof -http=:8080 <file>` for flame graphs.
+PROFILE_DIR ?= /tmp/migratory-profile
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/migsim -table 2 -format csv \
+		-cpuprofile $(PROFILE_DIR)/cpu.pprof \
+		-memprofile $(PROFILE_DIR)/mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount 15 $(PROFILE_DIR)/cpu.pprof
 
 # End-to-end observability demo: generate a short MP3D trace, replay it
 # under the basic protocol with the inspector attached, and export the

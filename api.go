@@ -430,6 +430,20 @@ func NewTraceWriter(w io.Writer, hdr TraceHeader) *TraceWriter { return trace.Ne
 // ReadTrace drains a source into memory.
 func ReadTrace(src TraceReader) ([]Access, error) { return trace.ReadAll(src) }
 
+// TraceBatchReader is the bulk read side of a source: NextBatch fills a
+// caller-owned buffer and may return n > 0 together with a non-nil error
+// (including io.EOF), io.Reader-style. All sources in this package
+// implement it; external TraceReader implementations are adapted by
+// FillTraceBatch.
+type TraceBatchReader = trace.BatchReader
+
+// DefaultTraceBatchSize is the chunk size the batched run loops use.
+const DefaultTraceBatchSize = trace.DefaultBatchSize
+
+// FillTraceBatch fills buf from r, using r's NextBatch when it has one and
+// falling back to per-access Next calls otherwise.
+func FillTraceBatch(r TraceReader, buf []Access) (int, error) { return trace.FillBatch(r, buf) }
+
 // RunDirectory builds a directory-based system and streams src through it.
 // A nil ctx behaves like context.Background(); a cancelled one aborts the
 // run within a few thousand accesses with ctx.Err().

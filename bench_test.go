@@ -10,7 +10,11 @@
 package migratory
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -884,6 +888,224 @@ func BenchmarkStreamedTable2(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchMTRImage encodes an application's benchmark trace into an in-memory
+// .mtr image, so the batched-decode benchmarks run against the real file
+// format without disk noise.
+func benchMTRImage(b *testing.B, app string) []byte {
+	b.Helper()
+	accs := benchTrace(b, app)
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, trace.Header{BlockSize: 16, PageSize: 4096, Nodes: 16})
+	for _, a := range accs {
+		if err := w.Write(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// benchFileSource opens an in-memory .mtr image, optionally hiding its
+// NextBatch method so the engines fall back to the per-access pull path.
+func benchFileSource(b *testing.B, img []byte, batched bool) trace.Source {
+	b.Helper()
+	src, err := trace.NewFileSource(bytes.NewReader(img))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if batched {
+		return src
+	}
+	return noBatch{src}
+}
+
+// BenchmarkBatchedTable2 prices the PR's two hot-loop changes together on
+// the Table 2 directory workload: all four policies at the 64 KB midpoint
+// over an .mtr-backed MP3D trace. The three modes are
+//
+//   - baseline:  the PR-3 hot loop, replayed verbatim — a per-access
+//     Next() pull through the Reader interface, an errors.Is EOF test on
+//     every pull, a modulo cancellation check, the un-specialized Access
+//     entry point, and the switch-based classifier transitions
+//   - unbatched: table kernel + specialized batch loop, per-access delivery
+//   - batched:   table kernel + NextBatch delivery in 4096-access chunks
+//
+// All modes are asserted to land on bit-identical counters; the ns/op of
+// each and the end-to-end speedup go to results/bench_sweep.json.
+func BenchmarkBatchedTable2(b *testing.B) {
+	img := benchMTRImage(b, "MP3D")
+	pl := placement.UsageBased(benchTrace(b, "MP3D"), benchGeom, 16)
+	// pr3Loop is the inner loop of PR 3's RunSource, inlined here so the
+	// baseline mode measures the pre-batching delivery path this PR removed.
+	pr3Loop := func(b *testing.B, sys *directory.System, src trace.Source) {
+		b.Helper()
+		ctx := context.Background()
+		for i := 0; ; i++ {
+			if i&4095 == 0 {
+				if err := ctx.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			a, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Access(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	run := func(b *testing.B, batched, pr3 bool) (cost.Msgs, directory.Counters) {
+		b.Helper()
+		var msgs cost.Msgs
+		var n directory.Counters
+		for _, pol := range core.Policies() {
+			sys, err := directory.New(directory.Config{
+				Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+				Policy: pol, Placement: pl,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pr3 {
+				// The loop only pulls via Next(), so the raw source works;
+				// its NextBatch method is simply never called.
+				pr3Loop(b, sys, benchFileSource(b, img, true))
+			} else if err := sys.RunSource(nil, benchFileSource(b, img, batched)); err != nil {
+				b.Fatal(err)
+			}
+			msgs = msgs.Add(sys.Messages())
+			n = sys.Counters()
+		}
+		return msgs, n
+	}
+
+	modes := []struct {
+		name    string
+		batched bool
+		tables  bool
+		pr3     bool
+	}{
+		{"baseline", false, false, true},
+		{"unbatched", false, true, false},
+		{"batched", true, true, false},
+	}
+	msgs := make([]cost.Msgs, len(modes))
+	counters := make([]directory.Counters, len(modes))
+	elapsed := make([]time.Duration, len(modes))
+	mallocs := make([]uint64, len(modes))
+	allocBytes := make([]uint64, len(modes))
+	// The modes are measured interleaved within every iteration, so slow
+	// drift of the machine's effective clock rate (shared CPUs, thermal
+	// throttle) hits all of them equally and cancels out of the ratios.
+	b.Run("paired", func(b *testing.B) {
+		defer func() { core.DisableTables = false }()
+		var before, after runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			for mi, m := range modes {
+				core.DisableTables = !m.tables
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				msgs[mi], counters[mi] = run(b, m.batched, m.pr3)
+				elapsed[mi] += time.Since(start)
+				runtime.ReadMemStats(&after)
+				mallocs[mi] += after.Mallocs - before.Mallocs
+				allocBytes[mi] += after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		for mi := 1; mi < len(modes); mi++ {
+			if msgs[mi] != msgs[0] || counters[mi] != counters[0] {
+				b.Fatalf("%s diverged from %s: %+v/%+v vs %+v/%+v",
+					modes[mi].name, modes[0].name, msgs[mi], counters[mi], msgs[0], counters[0])
+			}
+		}
+		measured := map[string]float64{}
+		for mi, m := range modes {
+			measured[m.name+"_ns_per_op"] = float64(elapsed[mi].Nanoseconds()) / float64(b.N)
+			measured[m.name+"_bytes_per_op"] = float64(allocBytes[mi]) / float64(b.N)
+			measured[m.name+"_allocs_per_op"] = float64(mallocs[mi]) / float64(b.N)
+		}
+		speedup := measured["baseline_ns_per_op"] / measured["batched_ns_per_op"]
+		measured["speedup"] = speedup
+		b.ReportMetric(speedup, "speedup-vs-pr3-loop")
+		b.ReportMetric(measured["unbatched_ns_per_op"]/measured["batched_ns_per_op"], "speedup-batching-only")
+		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkBatchedTable2", measured); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkBatchedBus is the bus-engine counterpart: MESI and the adaptive
+// protocol over the same .mtr-backed trace, batched versus unbatched, with
+// bit-identical transaction counts.
+func BenchmarkBatchedBus(b *testing.B) {
+	img := benchMTRImage(b, "MP3D")
+	run := func(b *testing.B, batched bool) snoop.Counts {
+		b.Helper()
+		var counts snoop.Counts
+		for _, p := range []snoop.Protocol{snoop.MESI, snoop.Adaptive} {
+			sys, err := snoop.New(snoop.Config{
+				Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10, Protocol: p,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.RunSource(nil, benchFileSource(b, img, batched)); err != nil {
+				b.Fatal(err)
+			}
+			counts = sys.Counts()
+		}
+		return counts
+	}
+
+	modes := []struct {
+		name    string
+		batched bool
+	}{
+		{"unbatched", false},
+		{"batched", true},
+	}
+	var counts [2]snoop.Counts
+	elapsed := make([]time.Duration, len(modes))
+	mallocs := make([]uint64, len(modes))
+	allocBytes := make([]uint64, len(modes))
+	// Interleaved measurement, as in BenchmarkBatchedTable2.
+	b.Run("paired", func(b *testing.B) {
+		var before, after runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			for mi, m := range modes {
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				counts[mi] = run(b, m.batched)
+				elapsed[mi] += time.Since(start)
+				runtime.ReadMemStats(&after)
+				mallocs[mi] += after.Mallocs - before.Mallocs
+				allocBytes[mi] += after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		if counts[0] != counts[1] {
+			b.Fatalf("batched and unbatched bus runs diverged: %+v vs %+v", counts[1], counts[0])
+		}
+		measured := map[string]float64{}
+		for mi, m := range modes {
+			measured[m.name+"_ns_per_op"] = float64(elapsed[mi].Nanoseconds()) / float64(b.N)
+			measured[m.name+"_bytes_per_op"] = float64(allocBytes[mi]) / float64(b.N)
+			measured[m.name+"_allocs_per_op"] = float64(mallocs[mi]) / float64(b.N)
+		}
+		speedup := measured["unbatched_ns_per_op"] / measured["batched_ns_per_op"]
+		measured["speedup"] = speedup
+		b.ReportMetric(speedup, "speedup-batching-only")
+		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkBatchedBus", measured); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // probeOverheadBaseline is the pre-observability BenchmarkTable2/MP3D-shaped

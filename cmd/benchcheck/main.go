@@ -1,0 +1,131 @@
+// Command benchcheck guards the hot-loop performance work: it compares the
+// machine-readable benchmark rows that `make bench` writes to
+// results/bench_sweep.json against the committed baseline in
+// results/bench_baseline.json and exits non-zero when a key metric
+// regresses beyond its tolerance.
+//
+// Each check is "benchmark:metric" or "benchmark:metric:tolerance" (a
+// fraction; 0.2 = 20%). The comparison direction is inferred from the
+// metric name: speedup-style metrics must not drop below baseline by more
+// than the tolerance, everything else (ns, bytes, allocs) must not grow
+// beyond it. Wall-clock metrics are noisy across machines, so the default
+// checks lean on the self-normalizing speedup ratios and the deterministic
+// allocation counts, with a wide tolerance on the raw ns rows.
+//
+// Usage:
+//
+//	benchcheck                          # default checks, default files
+//	benchcheck -tolerance 0.1           # tighten the default tolerance
+//	benchcheck -checks 'BenchmarkBatchedBus:speedup:0.25'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"migratory/internal/stats"
+)
+
+// defaultChecks are the key rows of results/bench_sweep.json: the batched
+// hot-loop speedups and allocation footprints from this PR, plus the
+// probe-overhead allocation guard from the observability work.
+const defaultChecks = "BenchmarkBatchedTable2:speedup," +
+	"BenchmarkBatchedTable2:batched_ns_per_op:0.60," +
+	"BenchmarkBatchedTable2:batched_allocs_per_op," +
+	"BenchmarkBatchedBus:speedup," +
+	"BenchmarkBatchedBus:batched_ns_per_op:0.60," +
+	"BenchmarkBatchedBus:batched_allocs_per_op," +
+	"BenchmarkProbeOverhead/nil-probe:allocs_per_op"
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func load(path string) map[string]map[string]float64 {
+	records, err := stats.ReadBenchJSON(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	out := make(map[string]map[string]float64, len(records))
+	for _, r := range records {
+		out[r.Name] = r.Metrics
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "results/bench_baseline.json", "committed baseline rows")
+		currentPath  = flag.String("current", "results/bench_sweep.json", "freshly measured rows (from `make bench`)")
+		tolerance    = flag.Float64("tolerance", 0.20, "default allowed fractional drift per metric")
+		checks       = flag.String("checks", defaultChecks, "comma-separated benchmark:metric[:tolerance] checks")
+	)
+	flag.Parse()
+
+	baseline := load(*baselinePath)
+	current := load(*currentPath)
+
+	failed := 0
+	for _, spec := range strings.Split(*checks, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.Split(spec, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			fatal("bad check %q (want benchmark:metric[:tolerance])", spec)
+		}
+		name, metric := parts[0], parts[1]
+		tol := *tolerance
+		if len(parts) == 3 {
+			v, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || v < 0 {
+				fatal("bad tolerance in %q", spec)
+			}
+			tol = v
+		}
+		base, ok := baseline[name][metric]
+		if !ok {
+			// A check ahead of its baseline row is not a regression: it
+			// starts guarding once the baseline is (re)recorded.
+			fmt.Printf("SKIP %s:%s (no baseline row)\n", name, metric)
+			continue
+		}
+		cur, ok := current[name][metric]
+		if !ok {
+			fmt.Printf("FAIL %s:%s missing from %s (baseline %.4g)\n", name, metric, *currentPath, base)
+			failed++
+			continue
+		}
+		higherBetter := strings.Contains(metric, "speedup")
+		bad := false
+		if base != 0 {
+			if higherBetter {
+				bad = cur < base*(1-tol)
+			} else {
+				bad = cur > base*(1+tol)
+			}
+		} else {
+			bad = cur != 0 && !higherBetter
+		}
+		drift := 0.0
+		if base != 0 {
+			drift = 100 * (cur - base) / base
+		}
+		verdict := "ok  "
+		if bad {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %s:%s baseline %.4g, current %.4g (%+.1f%%, tolerance %.0f%%)\n",
+			verdict, name, metric, base, cur, drift, 100*tol)
+	}
+	if failed > 0 {
+		fatal("%d metric(s) regressed beyond tolerance", failed)
+	}
+	fmt.Println("benchcheck: all metrics within tolerance")
+}

@@ -26,12 +26,14 @@ import (
 func main() {
 	var (
 		common   = cliutil.Register("bussim")
+		prof     = cliutil.RegisterProfile("bussim")
 		caches   = flag.String("caches", "", "comma-separated per-node cache bytes (default: 65536,1048576)")
 		symmetry = flag.Bool("symmetry", false, "include the non-adaptive Symmetry migrate-on-read baseline")
 		format   = flag.String("format", "table", "output format: table, csv, or json")
 	)
 	flag.Parse()
 	common.Validate()
+	defer prof.Start()()
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()

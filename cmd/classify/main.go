@@ -31,10 +31,12 @@ import (
 func main() {
 	var (
 		common = cliutil.Register("classify")
+		prof   = cliutil.RegisterProfile("classify")
 		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
 	)
 	flag.Parse()
 	common.Validate()
+	defer prof.Start()()
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()

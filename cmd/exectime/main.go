@@ -24,11 +24,13 @@ import (
 func main() {
 	var (
 		common = cliutil.Register("exectime")
+		prof   = cliutil.RegisterProfile("exectime")
 		policy = flag.String("policy", "basic", "adaptive policy to compare against conventional")
 		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = 64 KB)")
 	)
 	flag.Parse()
 	common.Validate()
+	defer prof.Start()()
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()

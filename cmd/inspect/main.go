@@ -63,8 +63,11 @@ func main() {
 		jsonlOut  = flag.String("jsonl", "", "write the (filtered) event stream as JSON lines to this file")
 		perfetto  = flag.String("perfetto", "", "write a Chrome trace_event file (opens in Perfetto) to this file")
 		listKinds = flag.Bool("list-kinds", false, "list the event kinds and exit")
+
+		prof = cliutil.RegisterProfile("inspect")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	if *listKinds {
 		for _, k := range obs.Kinds() {

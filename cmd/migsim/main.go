@@ -26,12 +26,14 @@ import (
 func main() {
 	var (
 		common = cliutil.Register("migsim")
+		prof   = cliutil.RegisterProfile("migsim")
 		table  = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
 		ratios = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
 		format = flag.String("format", "table", "output format: table, csv, or json")
 	)
 	flag.Parse()
 	common.Validate()
+	defer prof.Start()()
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()

@@ -35,8 +35,11 @@ func main() {
 		blockSize = flag.Int("block", 16, "block size for the statistics")
 		stats     = flag.Bool("stats", false, "print trace statistics")
 		list      = flag.Bool("list", false, "list available application profiles")
+
+		prof = cliutil.RegisterProfile("tracegen")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	if *list {
 		fmt.Printf("%-12s %-12s %s\n", "profile", "footprint", "segments")

@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	"migratory/internal/core"
@@ -103,6 +106,81 @@ func TraceApp(path string, nodes int) (*sim.App, error) {
 	}, nodes)
 }
 
+// ProfileFlags holds the pprof flags every command shares (-cpuprofile,
+// -memprofile). Register them with RegisterProfile before flag.Parse, then
+// arrange for the Start result to run before exit:
+//
+//	prof := cliutil.RegisterProfile("migsim")
+//	flag.Parse()
+//	defer prof.Start()()
+//
+// The profiles feed `go tool pprof` (see `make profile`).
+type ProfileFlags struct {
+	name string
+	cpu  *string
+	mem  *string
+}
+
+// RegisterProfile declares the shared profiling flags on the default flag
+// set.
+func RegisterProfile(name string) *ProfileFlags {
+	p := &ProfileFlags{name: name}
+	p.cpu = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	p.mem = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	return p
+}
+
+// profileStop flushes any in-flight profiles; Fatal runs it so a failed run
+// still writes whatever the CPU profiler collected.
+var profileStop func()
+
+// Start begins CPU profiling when -cpuprofile was given and returns the
+// stop function, which also writes the heap profile when -memprofile was
+// given. The stop function is idempotent; flush failures are reported to
+// stderr rather than exiting (the run's real output already happened).
+func (p *ProfileFlags) Start() func() {
+	var cpuFile *os.File
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			Fatal(p.name, "-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			Fatal(p.name, "-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -cpuprofile: %v\n", p.name, err)
+				}
+			}
+			if *p.mem == "" {
+				return
+			}
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", p.name, err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", p.name, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", p.name, err)
+			}
+		})
+	}
+	profileStop = stop
+	return stop
+}
+
 // SignalContext returns a context cancelled on SIGINT or SIGTERM, so ^C
 // aborts an in-flight sweep promptly and cleanly (the sweep returns
 // ctx.Err()). A second signal kills the process as usual.
@@ -110,9 +188,13 @@ func SignalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-// Fatal prints "name: message" to stderr and exits with status 1.
+// Fatal prints "name: message" to stderr and exits with status 1, flushing
+// any in-flight profiles first.
 func Fatal(name, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, name+": "+format+"\n", args...)
+	if profileStop != nil {
+		profileStop()
+	}
 	os.Exit(1)
 }
 

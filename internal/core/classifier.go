@@ -67,6 +67,12 @@ type Classifier struct {
 	// Evidence or Migratory, with the state after the change. It exists for
 	// observability layers; the classifier's decisions never depend on it.
 	Observe func(Change)
+
+	// table, when non-nil, drives transitions through the precomputed dense
+	// lookup table instead of the reference switch logic. The two are
+	// verified bit-identical (TestTableMatchesReference); only policies with
+	// a hysteresis too large to tabulate fall back to the switches.
+	table *transitionTable
 }
 
 // Change describes one observable update to a classifier's adaptive state:
@@ -92,6 +98,7 @@ func NewClassifier(p Policy) Classifier {
 		Count:           Uncached,
 		Migratory:       p.Adaptive && p.InitialMigratory,
 		LastInvalidator: memory.NoNode,
+		table:           tableFor(p),
 	}
 }
 
@@ -153,6 +160,20 @@ func (c *Classifier) resetEvidence() {
 // writable copy, invalidating any existing copy in the same transaction)
 // and false when it should *replicate* (hand out a read-only copy).
 func (c *Classifier) ReadMiss(dirty bool) (migrate bool) {
+	if t := c.table; t != nil {
+		ev := evReadMissClean
+		if dirty {
+			ev = evReadMissDirty
+		}
+		return c.apply(t.lookup(c.stateIndex(), ev))
+	}
+	return c.readMissRef(dirty)
+}
+
+// readMissRef is the reference switch implementation of ReadMiss, kept as
+// the source of truth the transition table is built from and verified
+// against.
+func (c *Classifier) readMissRef(dirty bool) (migrate bool) {
 	switch c.Count {
 	case Uncached:
 		c.Count = OneCopy
@@ -198,6 +219,26 @@ func (c *Classifier) ReadMiss(dirty bool) (migrate bool) {
 // skips the classification tests). dirty is as for ReadMiss. After a write
 // miss the requester always holds the sole, writable copy.
 func (c *Classifier) WriteMiss(requester memory.NodeID, hadCopies bool, dirty bool) {
+	if t := c.table; t != nil {
+		bits := 0
+		if c.LastInvalidator != memory.NoNode && c.LastInvalidator != requester {
+			bits |= 1
+		}
+		if dirty {
+			bits |= 2
+		}
+		if hadCopies {
+			bits |= 4
+		}
+		c.apply(t.lookup(c.stateIndex(), evWriteMiss+bits))
+		c.LastInvalidator = requester
+		return
+	}
+	c.writeMissRef(requester, hadCopies, dirty)
+}
+
+// writeMissRef is the reference switch implementation of WriteMiss.
+func (c *Classifier) writeMissRef(requester memory.NodeID, hadCopies bool, dirty bool) {
 	switch {
 	case !hadCopies:
 		// Uncached: no evidence either way; the classification (including
@@ -228,6 +269,23 @@ func (c *Classifier) WriteMiss(requester memory.NodeID, hadCopies bool, dirty bo
 // ("write hit on a clean, exclusively-held block"). After the call the
 // requester holds the sole, writable copy.
 func (c *Classifier) WriteHit(requester memory.NodeID, invalidatedOthers bool) {
+	if t := c.table; t != nil {
+		bits := 0
+		if c.LastInvalidator != memory.NoNode && c.LastInvalidator != requester {
+			bits |= 1
+		}
+		if invalidatedOthers {
+			bits |= 2
+		}
+		c.apply(t.lookup(c.stateIndex(), evWriteHit+bits))
+		c.LastInvalidator = requester
+		return
+	}
+	c.writeHitRef(requester, invalidatedOthers)
+}
+
+// writeHitRef is the reference switch implementation of WriteHit.
+func (c *Classifier) writeHitRef(requester memory.NodeID, invalidatedOthers bool) {
 	if invalidatedOthers {
 		if c.LastInvalidator != memory.NoNode && c.LastInvalidator != requester && c.Count == TwoCopies {
 			c.record()
@@ -260,6 +318,19 @@ func (c *Classifier) WriteHit(requester memory.NodeID, invalidatedOthers bool) {
 // or written back. Policies that retain classification keep everything but
 // the copy count; otherwise the entry resets as if never seen.
 func (c *Classifier) BecameUncached() {
+	if t := c.table; t != nil {
+		e := t.lookup(c.stateIndex(), evBecameUncached)
+		c.apply(e)
+		if e.flags&flagClearLast != 0 {
+			c.LastInvalidator = memory.NoNode
+		}
+		return
+	}
+	c.becameUncachedRef()
+}
+
+// becameUncachedRef is the reference switch implementation of BecameUncached.
+func (c *Classifier) becameUncachedRef() {
 	c.Count = Uncached
 	if !c.policy.RetainWhenUncached {
 		initial := c.policy.Adaptive && c.policy.InitialMigratory

@@ -323,9 +323,10 @@ func (s *System) home(b memory.BlockID) memory.NodeID {
 }
 
 // cancelCheckInterval is how many accesses run between context checks in
-// RunSource. Coarse enough that the check is free against the per-access
-// simulation cost, fine enough that cancellation lands within microseconds.
-const cancelCheckInterval = 4096
+// RunSource — one check per trace.DefaultBatchSize chunk. Coarse enough
+// that the check is free against the per-access simulation cost, fine
+// enough that cancellation lands within microseconds.
+const cancelCheckInterval = trace.DefaultBatchSize
 
 // Run feeds every access of the trace through the system.
 func (s *System) Run(accesses []trace.Access) error {
@@ -333,45 +334,88 @@ func (s *System) Run(accesses []trace.Access) error {
 }
 
 // RunSource feeds every access of a streamed trace through the system,
-// holding O(1) trace memory. A nil ctx is treated as context.Background();
-// on cancellation RunSource returns ctx.Err() within cancelCheckInterval
-// accesses, so callers can test errors.Is(err, context.Canceled).
+// holding O(1) trace memory. Accesses are pulled in DefaultBatchSize chunks
+// (through the source's own NextBatch when it has one), so the per-access
+// path pays no interface call and no cancellation check. A nil ctx is
+// treated as context.Background(); on cancellation RunSource returns
+// ctx.Err() within cancelCheckInterval accesses, so callers can test
+// errors.Is(err, context.Canceled).
 func (s *System) RunSource(ctx context.Context, src trace.Source) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Fast path: slice-backed sources iterate the slice directly instead of
-	// paying an interface call per access.
+	// Fast path: slice-backed sources chunk the underlying slice directly
+	// instead of copying through a batch buffer.
 	if ss, ok := src.(*trace.SliceSource); ok {
-		for i, a := range ss.Rest() {
-			if i&(cancelCheckInterval-1) == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			if err := s.Access(a); err != nil {
-				return fmt.Errorf("access %d (%v): %w", i, a, err)
-			}
-		}
-		return nil
-	}
-	for i := 0; ; i++ {
-		if i&(cancelCheckInterval-1) == 0 {
+		rest := ss.Rest()
+		for off := 0; ; off += cancelCheckInterval {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if off >= len(rest) {
+				return nil
+			}
+			end := off + cancelCheckInterval
+			if end > len(rest) {
+				end = len(rest)
+			}
+			if err := s.runBatch(rest[off:end], off); err != nil {
+				return err
+			}
 		}
-		a, err := src.Next()
+	}
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
+	off := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := trace.FillBatch(src, buf)
+		if n > 0 {
+			if berr := s.runBatch(buf[:n], off); berr != nil {
+				return berr
+			}
+			off += n
+		}
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("directory: trace source at access %d: %w", i, err)
-		}
-		if err := s.Access(a); err != nil {
-			return fmt.Errorf("access %d (%v): %w", i, a, err)
+			return fmt.Errorf("directory: trace source at access %d: %w", off, err)
 		}
 	}
+}
+
+// runBatch feeds one chunk of accesses through the system; the context
+// check lives with the caller, outside the per-access loop. The body
+// specializes the dominant case — a read hit with no probe attached and no
+// coherence checking — so the steady-state kernel is a geometry shift, one
+// cache lookup, and two counter increments, with the loop-invariant nil
+// checks hoisted out of the per-access path.
+func (s *System) runBatch(batch []trace.Access, base int) error {
+	fast := s.probe == nil && s.versions == nil
+	for i := range batch {
+		a := batch[i]
+		if int(a.Node) >= s.cfg.Nodes {
+			return fmt.Errorf("access %d (%v): %w", base+i, a, s.Access(a))
+		}
+		s.n.Accesses++
+		if s.probe != nil {
+			s.cur = a
+		}
+		b := s.cfg.Geometry.Block(a.Addr)
+		line := s.caches[a.Node].Lookup(b)
+		if fast && a.Kind == trace.Read && line != nil {
+			s.n.ReadHits++
+			s.lastOp = OpInfo{Hit: true}
+			continue
+		}
+		if err := s.dispatch(a, b, line); err != nil {
+			return fmt.Errorf("access %d (%v): %w", base+i, a, err)
+		}
+	}
+	return nil
 }
 
 // Access applies a single shared-memory reference.
@@ -385,7 +429,12 @@ func (s *System) Access(a trace.Access) error {
 	}
 	b := s.cfg.Geometry.Block(a.Addr)
 	line := s.caches[a.Node].Lookup(b)
+	return s.dispatch(a, b, line)
+}
 
+// dispatch routes an access whose cache lookup already happened; it is the
+// shared tail of Access and runBatch's specialized loop.
+func (s *System) dispatch(a trace.Access, b memory.BlockID, line *cache.Line) error {
 	if a.Kind == trace.Read {
 		if line != nil {
 			s.n.ReadHits++

@@ -226,6 +226,8 @@ type System struct {
 	// non-holder's snoop is a no-op).
 	holders  memory.BlockMap[memory.NodeSet]
 	versions *memory.BlockMap[uint64]
+	// tbl holds the protocol's precomputed snoop-response tables (table.go).
+	tbl *snoopTables
 
 	// Extra visibility counters.
 	readHits, writeHits uint64
@@ -269,7 +271,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes), probe: cfg.Probe}
+	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes), probe: cfg.Probe, tbl: buildSnoopTables(cfg.Protocol)}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
 			SizeBytes: cfg.CacheBytes,
@@ -323,8 +325,9 @@ func (s *System) Migrations() uint64 { return s.migrations }
 func (s *System) Hits() (read, write uint64) { return s.readHits, s.writeHits }
 
 // cancelCheckInterval is how many accesses run between context checks in
-// RunSource (see directory.RunSource for the tradeoff).
-const cancelCheckInterval = 4096
+// RunSource — one check per trace.DefaultBatchSize chunk (see
+// directory.RunSource for the tradeoff).
+const cancelCheckInterval = trace.DefaultBatchSize
 
 // Run feeds a whole trace through the system.
 func (s *System) Run(accesses []trace.Access) error {
@@ -332,44 +335,67 @@ func (s *System) Run(accesses []trace.Access) error {
 }
 
 // RunSource feeds a streamed trace through the system, holding O(1) trace
-// memory. A nil ctx is treated as context.Background(); on cancellation
-// RunSource returns ctx.Err() within cancelCheckInterval accesses.
+// memory. Accesses are pulled in DefaultBatchSize chunks (through the
+// source's own NextBatch when it has one), so the per-access path pays no
+// interface call and no cancellation check. A nil ctx is treated as
+// context.Background(); on cancellation RunSource returns ctx.Err() within
+// cancelCheckInterval accesses.
 func (s *System) RunSource(ctx context.Context, src trace.Source) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Fast path: slice-backed sources iterate the slice directly instead of
-	// paying an interface call per access.
+	// Fast path: slice-backed sources chunk the underlying slice directly
+	// instead of copying through a batch buffer.
 	if ss, ok := src.(*trace.SliceSource); ok {
-		for i, a := range ss.Rest() {
-			if i&(cancelCheckInterval-1) == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-			}
-			if err := s.Access(a); err != nil {
-				return fmt.Errorf("access %d (%v): %w", i, a, err)
-			}
-		}
-		return nil
-	}
-	for i := 0; ; i++ {
-		if i&(cancelCheckInterval-1) == 0 {
+		rest := ss.Rest()
+		for off := 0; ; off += cancelCheckInterval {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if off >= len(rest) {
+				return nil
+			}
+			end := off + cancelCheckInterval
+			if end > len(rest) {
+				end = len(rest)
+			}
+			if err := s.runBatch(rest[off:end], off); err != nil {
+				return err
+			}
 		}
-		a, err := src.Next()
+	}
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
+	off := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, err := trace.FillBatch(src, buf)
+		if n > 0 {
+			if berr := s.runBatch(buf[:n], off); berr != nil {
+				return berr
+			}
+			off += n
+		}
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("snoop: trace source at access %d: %w", i, err)
-		}
-		if err := s.Access(a); err != nil {
-			return fmt.Errorf("access %d (%v): %w", i, a, err)
+			return fmt.Errorf("snoop: trace source at access %d: %w", off, err)
 		}
 	}
+}
+
+// runBatch feeds one chunk of accesses through the system; the context
+// check lives with the caller, outside the per-access loop.
+func (s *System) runBatch(batch []trace.Access, base int) error {
+	for i := range batch {
+		if err := s.Access(batch[i]); err != nil {
+			return fmt.Errorf("access %d (%v): %w", base+i, batch[i], err)
+		}
+	}
+	return nil
 }
 
 // Access applies one processor reference.
@@ -470,71 +496,32 @@ func (s *System) readMiss(n memory.NodeID, b memory.BlockID) {
 		s.emitBus(n, b, "read miss")
 	}
 	var r response
-	// The conventional protocols have no Shared-2 state; their
-	// downgrades go straight to Shared.
-	down := StateS2
-	if !s.cfg.Protocol.Adaptive() {
-		down = StateS
-	}
+	rm := &s.tbl.rm
 	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		line := s.caches[i].Peek(b)
 		old := line.State
-		switch line.State {
-		case StateE:
-			line.State = down
-			r.shared = true
-		case StateD:
-			if s.cfg.Protocol == Symmetry {
-				// Symmetry model B: modified blocks always migrate.
-				// Ownership (still dirty) transfers to the requester.
-				if s.probe != nil {
-					s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: "D", New: "I"})
-				}
-				s.invalidate(i, b)
-				r.mig = true
-				return
-			}
-			if s.cfg.Protocol == Berkeley {
-				// Berkeley: the owner supplies the data and keeps the
-				// dirty master copy; memory is not updated.
-				line.State = StateO
-				r.shared = true
-				break
-			}
-			// Provide data; memory snoops and is updated.
-			line.State = down
-			line.Dirty = false
-			r.shared = true
-		case StateS2:
-			line.State = StateS
-			r.shared = true
-		case StateS:
-			r.shared = true
-		case StateO:
-			// Berkeley owner supplies; ownership stays put.
-			r.shared = true
-		case StateMC:
-			// Any miss request to MC switches the block back to the
-			// replicate policy: the pair continues as S2/S, keeping the
-			// evidence counter it had accumulated.
-			line.State = StateS2
-			r.shared = true
+		e := rm[line.State]
+		if e.flags&actTakeEvidence != 0 {
 			r.evidence = line.Aux
+		}
+		if e.flags&actInvalidate != 0 {
+			// Migrate (MD, or D under Symmetry): invalidate here, hand the
+			// block to the requester with Migratory asserted.
 			if s.probe != nil {
-				s.emit(obs.Event{Kind: obs.KindDeclassify, Node: n, Block: b, Evidence: int(line.Aux)})
-			}
-		case StateMD:
-			// Migrate: invalidate here, hand the (now clean, memory
-			// updated) block to the requester with Migratory asserted.
-			ev := line.Aux
-			if s.probe != nil {
-				s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: "MD", New: "I"})
+				s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: StateName(old), New: "I"})
 			}
 			s.invalidate(i, b)
 			r.mig = true
-			r.evidence = ev
 			return
 		}
+		if e.flags&actDeclassify != 0 && s.probe != nil {
+			s.emit(obs.Event{Kind: obs.KindDeclassify, Node: n, Block: b, Evidence: int(line.Aux)})
+		}
+		r.shared = true
+		if e.flags&actCleanLine != 0 {
+			line.Dirty = false
+		}
+		line.State = e.next
 		if s.probe != nil && line.State != old {
 			s.emit(obs.Event{Kind: obs.KindState, Node: i, Block: b, Old: StateName(old), New: StateName(line.State)})
 		}
@@ -592,38 +579,36 @@ func (s *System) writeMiss(n memory.NodeID, b memory.BlockID) {
 	var r response
 	others := s.holderSet(b).Remove(n)
 	single := others.Len()
+	wm := &s.tbl.wmMulti
+	if single == 1 {
+		wm = &s.tbl.wmSingle
+	}
 	others.ForEach(func(i memory.NodeID) {
 		line := s.caches[i].Peek(b)
 		old := StateName(line.State)
-		switch line.State {
-		case StateE, StateD:
+		e := wm[line.State]
+		if e.flags&actBumpEvidence != 0 {
 			// A write miss to a block with a single cached copy in E or D
 			// is migratory evidence (the aggressive switch of §2.1).
-			if s.cfg.Protocol.Adaptive() && single == 1 {
-				r.evidence = s.bumpEvidence(line.Aux)
-				if int(r.evidence) >= s.cfg.Hysteresis {
-					r.mig = true
-				}
-				if s.probe != nil {
-					s.emitEvidence(n, b, r.evidence, r.mig)
-				}
+			r.evidence = s.bumpEvidence(line.Aux)
+			if int(r.evidence) >= s.cfg.Hysteresis {
+				r.mig = true
 			}
-			s.invalidate(i, b)
-		case StateMD:
-			// The previous holder modified it: still migratory.
+			if s.probe != nil {
+				s.emitEvidence(n, b, r.evidence, r.mig)
+			}
+		}
+		if e.flags&actMig != 0 {
+			// The previous holder modified an MD copy: still migratory.
 			r.mig = true
 			r.evidence = line.Aux
-			s.invalidate(i, b)
-		case StateMC:
+		}
+		if e.flags&actDeclassify != 0 && s.probe != nil {
 			// Not modified before leaving: declassify (no Migratory
 			// assertion); the requester installs a plain Dirty copy.
-			if s.probe != nil {
-				s.emit(obs.Event{Kind: obs.KindDeclassify, Node: n, Block: b})
-			}
-			s.invalidate(i, b)
-		default: // S, S2, O (a Berkeley owner provides the data as it goes)
-			s.invalidate(i, b)
+			s.emit(obs.Event{Kind: obs.KindDeclassify, Node: n, Block: b})
 		}
+		s.invalidate(i, b)
 		if s.probe != nil {
 			s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: old, New: "I"})
 		}
@@ -654,26 +639,22 @@ func (s *System) writeHitShared(n memory.NodeID, b memory.BlockID, line *cache.L
 		s.emitBus(n, b, "invalidation")
 	}
 	var r response
+	inv := &s.tbl.inv
 	s.holderSet(b).Remove(n).ForEach(func(i memory.NodeID) {
 		other := s.caches[i].Peek(b)
 		old := StateName(other.State)
-		switch other.State {
-		case StateS2:
+		if inv[other.State].flags&actBumpEvidence != 0 {
 			// The invalidator holds the newer copy of a two-copy block:
 			// the defining migratory detection event.
-			if s.cfg.Protocol.Adaptive() {
-				r.evidence = s.bumpEvidence(other.Aux)
-				if int(r.evidence) >= s.cfg.Hysteresis {
-					r.mig = true
-				}
-				if s.probe != nil {
-					s.emitEvidence(n, b, r.evidence, r.mig)
-				}
+			r.evidence = s.bumpEvidence(other.Aux)
+			if int(r.evidence) >= s.cfg.Hysteresis {
+				r.mig = true
 			}
-			s.invalidate(i, b)
-		default: // S (and, for MESI, any shared copy)
-			s.invalidate(i, b)
+			if s.probe != nil {
+				s.emitEvidence(n, b, r.evidence, r.mig)
+			}
 		}
+		s.invalidate(i, b)
 		if s.probe != nil {
 			s.emit(obs.Event{Kind: obs.KindInvalidation, Node: i, Block: b, Old: old, New: "I"})
 		}

@@ -1,0 +1,125 @@
+package snoop
+
+// Precomputed snoop-response tables for the Figure 2 state machine. The
+// per-access hot path of the bus engine is the per-holder response switch
+// inside each transaction (what does a cache in state X do when it snoops a
+// read miss / write miss / invalidation?). Those switches branch on both
+// the line state and the protocol; since the protocol is fixed for the
+// lifetime of a System, New() flattens them into dense per-transaction
+// tables
+//
+//	[line state] -> {next state, action bitmask}
+//
+// and the transaction handlers reduce to a table index plus flag tests.
+// TestSnoopTablesMatchFigure2 (and the pre-existing exhaustive protocol
+// tests, which cover every transition) pin the tables to the reference
+// semantics.
+
+import "migratory/internal/cache"
+
+// Snoop response action flags.
+const (
+	// actInvalidate drops the remote copy (and suppresses the state-change
+	// event: the invalidation event covers it).
+	actInvalidate uint8 = 1 << iota
+	// actShared asserts the shared bus line.
+	actShared
+	// actMig asserts the Migratory response.
+	actMig
+	// actTakeEvidence propagates the remote line's hysteresis counter to
+	// the requester.
+	actTakeEvidence
+	// actBumpEvidence advances the remote line's hysteresis counter and
+	// asserts Migratory at the threshold (the §2.1 detection events).
+	actBumpEvidence
+	// actDeclassify reports a migratory block reverting to the replicate
+	// policy.
+	actDeclassify
+	// actCleanLine clears the remote line's dirty bit (memory snooped the
+	// data transfer).
+	actCleanLine
+)
+
+// snoopEntry is one response: the successor state (meaningful only when
+// actInvalidate is clear) and the actions.
+type snoopEntry struct {
+	next  cache.State
+	flags uint8
+}
+
+// snoopTables holds one System's response tables, indexed by line state.
+type snoopTables struct {
+	// rm answers a read miss (Brmr).
+	rm [StateO + 1]snoopEntry
+	// wmSingle answers a write miss when the responder holds the only
+	// cached copy; wmMulti when other copies exist too. The split hoists
+	// the single-copy migratory-evidence test out of the snoop loop.
+	wmSingle [StateO + 1]snoopEntry
+	wmMulti  [StateO + 1]snoopEntry
+	// inv answers an invalidation (Bir, a write hit on a shared line).
+	inv [StateO + 1]snoopEntry
+}
+
+// buildSnoopTables flattens the protocol's response rules.
+func buildSnoopTables(p Protocol) *snoopTables {
+	t := &snoopTables{}
+
+	// Read miss. The conventional protocols have no Shared-2 state; their
+	// downgrades go straight to Shared.
+	down := StateS2
+	if !p.Adaptive() {
+		down = StateS
+	}
+	t.rm[StateE] = snoopEntry{next: down, flags: actShared}
+	switch p {
+	case Symmetry:
+		// Symmetry model B: modified blocks always migrate; ownership
+		// (still dirty) transfers to the requester.
+		t.rm[StateD] = snoopEntry{flags: actInvalidate | actMig}
+	case Berkeley:
+		// Berkeley: the owner supplies the data and keeps the dirty master
+		// copy; memory is not updated.
+		t.rm[StateD] = snoopEntry{next: StateO, flags: actShared}
+	default:
+		// Provide data; memory snoops and is updated.
+		t.rm[StateD] = snoopEntry{next: down, flags: actShared | actCleanLine}
+	}
+	t.rm[StateS2] = snoopEntry{next: StateS, flags: actShared}
+	t.rm[StateS] = snoopEntry{next: StateS, flags: actShared}
+	t.rm[StateO] = snoopEntry{next: StateO, flags: actShared}
+	// Any miss request to MC switches the block back to the replicate
+	// policy: the pair continues as S2/S, keeping the accumulated evidence.
+	t.rm[StateMC] = snoopEntry{next: StateS2, flags: actShared | actTakeEvidence | actDeclassify}
+	// MD migrates: invalidate here, hand the (now clean, memory updated)
+	// block over with Migratory asserted.
+	t.rm[StateMD] = snoopEntry{flags: actInvalidate | actMig | actTakeEvidence}
+
+	// Write miss: every copy invalidates; the interesting part is what the
+	// response lines say. A write miss to a block with a single cached copy
+	// in E or D is migratory evidence (the aggressive switch of §2.1).
+	for st := StateE; st <= StateO; st++ {
+		t.wmSingle[st] = snoopEntry{flags: actInvalidate}
+		t.wmMulti[st] = snoopEntry{flags: actInvalidate}
+	}
+	if p.Adaptive() {
+		t.wmSingle[StateE] = snoopEntry{flags: actInvalidate | actBumpEvidence}
+		t.wmSingle[StateD] = snoopEntry{flags: actInvalidate | actBumpEvidence}
+	}
+	// The previous holder modified an MD block: still migratory. An MC
+	// holder did not: declassify.
+	t.wmSingle[StateMD] = snoopEntry{flags: actInvalidate | actMig | actTakeEvidence}
+	t.wmMulti[StateMD] = t.wmSingle[StateMD]
+	t.wmSingle[StateMC] = snoopEntry{flags: actInvalidate | actDeclassify}
+	t.wmMulti[StateMC] = t.wmSingle[StateMC]
+
+	// Invalidation: every copy invalidates. The invalidator hitting an S2
+	// copy holds the newer copy of a two-copy block — the defining
+	// migratory detection event.
+	for st := StateE; st <= StateO; st++ {
+		t.inv[st] = snoopEntry{flags: actInvalidate}
+	}
+	if p.Adaptive() {
+		t.inv[StateS2] = snoopEntry{flags: actInvalidate | actBumpEvidence}
+	}
+	return t
+}

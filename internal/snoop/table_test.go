@@ -1,0 +1,99 @@
+package snoop
+
+import (
+	"testing"
+
+	"migratory/internal/cache"
+)
+
+// TestSnoopTablesMatchFigure2 pins every entry of the precomputed snoop
+// response tables to a hand-written transcription of the Figure 2 state
+// machine (plus the §5 related-protocol variants), independent of the
+// builder's control flow. The exhaustive protocol tests exercise the same
+// transitions dynamically; this test catches a table that is wrong in a
+// state the generated workloads never reach.
+func TestSnoopTablesMatchFigure2(t *testing.T) {
+	protocols := []Protocol{MESI, Adaptive, AdaptiveMigrateFirst, Symmetry, Berkeley, UpdateOnce}
+	for _, p := range protocols {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			tbl := buildSnoopTables(p)
+
+			// A read-miss downgrade lands in Shared-2 only when the protocol
+			// tracks the two-copy distinction.
+			down := StateS
+			if p.Adaptive() {
+				down = StateS2
+			}
+			rm := map[cache.State]snoopEntry{
+				StateE:  {next: down, flags: actShared},
+				StateS2: {next: StateS, flags: actShared},
+				StateS:  {next: StateS, flags: actShared},
+				StateO:  {next: StateO, flags: actShared},
+				StateMC: {next: StateS2, flags: actShared | actTakeEvidence | actDeclassify},
+				StateMD: {flags: actInvalidate | actMig | actTakeEvidence},
+			}
+			switch p {
+			case Symmetry:
+				rm[StateD] = snoopEntry{flags: actInvalidate | actMig}
+			case Berkeley:
+				rm[StateD] = snoopEntry{next: StateO, flags: actShared}
+			default:
+				rm[StateD] = snoopEntry{next: down, flags: actShared | actCleanLine}
+			}
+
+			wmSingle := map[cache.State]snoopEntry{
+				StateE:  {flags: actInvalidate},
+				StateS2: {flags: actInvalidate},
+				StateS:  {flags: actInvalidate},
+				StateD:  {flags: actInvalidate},
+				StateO:  {flags: actInvalidate},
+				StateMC: {flags: actInvalidate | actDeclassify},
+				StateMD: {flags: actInvalidate | actMig | actTakeEvidence},
+			}
+			if p.Adaptive() {
+				// §2.1: a write miss invalidating the single cached copy of a
+				// block is migratory evidence.
+				wmSingle[StateE] = snoopEntry{flags: actInvalidate | actBumpEvidence}
+				wmSingle[StateD] = snoopEntry{flags: actInvalidate | actBumpEvidence}
+			}
+			wmMulti := map[cache.State]snoopEntry{
+				StateE:  {flags: actInvalidate},
+				StateS2: {flags: actInvalidate},
+				StateS:  {flags: actInvalidate},
+				StateD:  {flags: actInvalidate},
+				StateO:  {flags: actInvalidate},
+				StateMC: {flags: actInvalidate | actDeclassify},
+				StateMD: {flags: actInvalidate | actMig | actTakeEvidence},
+			}
+
+			inv := map[cache.State]snoopEntry{
+				StateE:  {flags: actInvalidate},
+				StateS2: {flags: actInvalidate},
+				StateS:  {flags: actInvalidate},
+				StateD:  {flags: actInvalidate},
+				StateO:  {flags: actInvalidate},
+				StateMC: {flags: actInvalidate},
+				StateMD: {flags: actInvalidate},
+			}
+			if p.Adaptive() {
+				// An invalidation reaching the older (S2) copy of a two-copy
+				// block is the defining migratory detection event.
+				inv[StateS2] = snoopEntry{flags: actInvalidate | actBumpEvidence}
+			}
+
+			check := func(name string, got *[StateO + 1]snoopEntry, want map[cache.State]snoopEntry) {
+				t.Helper()
+				for st := StateE; st <= StateO; st++ {
+					if got[st] != want[st] {
+						t.Errorf("%s[%s] = %+v, want %+v", name, StateName(st), got[st], want[st])
+					}
+				}
+			}
+			check("rm", &tbl.rm, rm)
+			check("wmSingle", &tbl.wmSingle, wmSingle)
+			check("wmMulti", &tbl.wmMulti, wmMulti)
+			check("inv", &tbl.inv, inv)
+		})
+	}
+}

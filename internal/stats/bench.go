@@ -15,6 +15,19 @@ type BenchRecord struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// ReadBenchJSON loads a benchmark-rows file (the bench_sweep.json format).
+func ReadBenchJSON(path string) ([]BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []BenchRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("stats: parsing %s: %w", path, err)
+	}
+	return records, nil
+}
+
 // UpdateBenchJSON merges one benchmark's metrics into the JSON baseline at
 // path, creating the file (and its directory) if needed. Records are keyed
 // by benchmark name and kept sorted, so re-running a benchmark overwrites

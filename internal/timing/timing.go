@@ -178,12 +178,68 @@ func Run(accesses []trace.Access, cfg Config) (Result, error) {
 }
 
 // cancelCheckInterval is how many accesses run between context checks in
-// RunSource (see directory.RunSource for the tradeoff).
-const cancelCheckInterval = 4096
+// RunSource — one check per trace.DefaultBatchSize chunk (see
+// directory.RunSource for the tradeoff).
+const cancelCheckInterval = trace.DefaultBatchSize
 
-// RunSource is Run over a streamed trace, holding O(1) trace memory. A nil
-// ctx is treated as context.Background(); on cancellation RunSource
-// returns ctx.Err() within cancelCheckInterval accesses.
+// runState is the mutable state the per-batch loop threads through a run.
+type runState struct {
+	cfg Config
+	sys *directory.System
+	res Result
+	// ctrlFree is the per-home memory-controller busy horizon, for
+	// contention modeling.
+	ctrlFree []uint64
+}
+
+// runBatch executes one chunk of accesses; the context-cancellation check
+// lives with the caller, outside the per-access loop.
+func (st *runState) runBatch(batch []trace.Access) error {
+	cfg := &st.cfg
+	res := &st.res
+	for _, a := range batch {
+		if int(a.Node) >= cfg.Nodes {
+			return fmt.Errorf("timing: node %d out of range", a.Node)
+		}
+		if err := st.sys.Access(a); err != nil {
+			return err
+		}
+		res.Accesses++
+		op := st.sys.LastOp()
+		lat := cfg.Params.Latency(op)
+		if !op.Hit && cfg.Params.OccupancyCycles > 0 {
+			home := int(uint64(cfg.Geometry.Page(a.Addr)) % uint64(cfg.Nodes))
+			now := res.PerNode[a.Node]
+			if st.ctrlFree[home] > now {
+				// Processor clocks are only loosely synchronized (requests
+				// are applied in trace order), so a large horizon gap means
+				// the requests did not actually overlap; only charge the
+				// genuine near-overlap queueing, bounded by a plausible
+				// queue depth.
+				wait := st.ctrlFree[home] - now
+				if cap := 4 * cfg.Params.OccupancyCycles; wait > cap {
+					wait = cap
+				}
+				lat += wait
+				res.ContentionCycles += wait
+				now += wait
+			}
+			st.ctrlFree[home] = now + cfg.Params.OccupancyCycles
+		}
+		if lat > 1 {
+			res.StallCycles += lat
+		}
+		res.PerNode[a.Node] += lat + cfg.Params.ThinkCycles
+	}
+	return nil
+}
+
+// RunSource is Run over a streamed trace, holding O(1) trace memory.
+// Accesses are pulled in DefaultBatchSize chunks (through the source's own
+// NextBatch when it has one), so the per-access path pays no interface call
+// and no cancellation check. A nil ctx is treated as context.Background();
+// on cancellation RunSource returns ctx.Err() within cancelCheckInterval
+// accesses.
 func RunSource(ctx context.Context, src trace.Source, cfg Config) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -207,55 +263,34 @@ func RunSource(ctx context.Context, src trace.Source, cfg Config) (Result, error
 		return Result{}, err
 	}
 
-	res := Result{PerNode: make([]uint64, cfg.Nodes)}
-	// Per-home memory-controller busy horizon, for contention modeling.
-	ctrlFree := make([]uint64, cfg.Nodes)
-	for i := 0; ; i++ {
-		if i&(cancelCheckInterval-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
+	st := &runState{
+		cfg:      cfg,
+		sys:      sys,
+		res:      Result{PerNode: make([]uint64, cfg.Nodes)},
+		ctrlFree: make([]uint64, cfg.Nodes),
+	}
+	buf := trace.GetBatch()
+	defer trace.PutBatch(buf)
+	off := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
-		a, err := src.Next()
+		n, err := trace.FillBatch(src, buf)
+		if n > 0 {
+			if berr := st.runBatch(buf[:n]); berr != nil {
+				return Result{}, berr
+			}
+			off += n
+		}
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			return Result{}, fmt.Errorf("timing: trace source at access %d: %w", i, err)
+			return Result{}, fmt.Errorf("timing: trace source at access %d: %w", off, err)
 		}
-		if int(a.Node) >= cfg.Nodes {
-			return Result{}, fmt.Errorf("timing: node %d out of range", a.Node)
-		}
-		if err := sys.Access(a); err != nil {
-			return Result{}, err
-		}
-		res.Accesses++
-		op := sys.LastOp()
-		lat := cfg.Params.Latency(op)
-		if !op.Hit && cfg.Params.OccupancyCycles > 0 {
-			home := int(uint64(cfg.Geometry.Page(a.Addr)) % uint64(cfg.Nodes))
-			now := res.PerNode[a.Node]
-			if ctrlFree[home] > now {
-				// Processor clocks are only loosely synchronized (requests
-				// are applied in trace order), so a large horizon gap means
-				// the requests did not actually overlap; only charge the
-				// genuine near-overlap queueing, bounded by a plausible
-				// queue depth.
-				wait := ctrlFree[home] - now
-				if cap := 4 * cfg.Params.OccupancyCycles; wait > cap {
-					wait = cap
-				}
-				lat += wait
-				res.ContentionCycles += wait
-				now += wait
-			}
-			ctrlFree[home] = now + cfg.Params.OccupancyCycles
-		}
-		if lat > 1 {
-			res.StallCycles += lat
-		}
-		res.PerNode[a.Node] += lat + cfg.Params.ThinkCycles
 	}
+	res := st.res
 	for _, c := range res.PerNode {
 		if c > res.Cycles {
 			res.Cycles = c

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"migratory/internal/memory"
+)
+
+func batchTestImage(t testing.TB, n int) ([]Access, []byte) {
+	t.Helper()
+	accs := make([]Access, n)
+	addr := memory.Addr(0)
+	for i := range accs {
+		addr += memory.Addr((i%7)*16 - 32)
+		accs[i] = Access{Node: memory.NodeID(i % 16), Kind: Kind(i % 2), Addr: addr}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{BlockSize: 16, PageSize: 4096, Nodes: 16})
+	for _, a := range accs {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return accs, buf.Bytes()
+}
+
+// TestSliceSourceNextBatch pins the BatchReader contract on the slice
+// source: full batches, a short tail, then (0, io.EOF).
+func TestSliceSourceNextBatch(t *testing.T) {
+	accs, _ := batchTestImage(t, 10)
+	src := NewSliceSource(accs)
+	buf := make([]Access, 4)
+	sizes := []int{4, 4, 2}
+	for _, want := range sizes {
+		n, err := src.NextBatch(buf)
+		if n != want || err != nil {
+			t.Fatalf("NextBatch = (%d, %v), want (%d, nil)", n, err, want)
+		}
+	}
+	if n, err := src.NextBatch(buf); n != 0 || !errors.Is(err, io.EOF) {
+		t.Fatalf("drained NextBatch = (%d, %v), want (0, EOF)", n, err)
+	}
+}
+
+// TestFileSourceResetReusesBuffers: after the first full pass, a Reset plus
+// a complete batched drain performs no steady-state allocations — the
+// decoder, its bufio buffer, and the pooled batch buffer are all reused.
+// This is what keeps Parallelism > 1 sweeps (which Reset and re-drain the
+// same sources for every cell) allocation-free in the hot loop.
+func TestFileSourceResetReusesBuffers(t *testing.T) {
+	_, img := batchTestImage(t, 5000)
+	src, err := NewFileSource(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := GetBatch()
+	defer PutBatch(buf)
+	drain := func() {
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for {
+			n, err := src.NextBatch(buf)
+			total += n
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if total != 5000 {
+			t.Fatalf("drained %d accesses, want 5000", total)
+		}
+	}
+	drain() // warm: grows the bufio buffer once
+	if allocs := testing.AllocsPerRun(10, drain); allocs > 0 {
+		t.Errorf("Reset+drain allocates %.1f objects per pass, want 0", allocs)
+	}
+}
+
+// TestBatchPoolRecycles: a returned buffer has the canonical capacity and
+// full length, and foreign-sized buffers are rejected rather than poisoning
+// the pool.
+func TestBatchPoolRecycles(t *testing.T) {
+	buf := GetBatch()
+	if len(buf) != DefaultBatchSize || cap(buf) != DefaultBatchSize {
+		t.Fatalf("GetBatch: len %d cap %d, want %d", len(buf), cap(buf), DefaultBatchSize)
+	}
+	PutBatch(buf[:17]) // short length is fine; capacity is what matters
+	buf2 := GetBatch()
+	if len(buf2) != DefaultBatchSize {
+		t.Fatalf("recycled batch has len %d, want %d", len(buf2), DefaultBatchSize)
+	}
+	PutBatch(buf2)
+	PutBatch(make([]Access, 3)) // wrong capacity: dropped, not pooled
+	if got := GetBatch(); len(got) != DefaultBatchSize {
+		t.Fatalf("pool returned foreign buffer of len %d", len(got))
+	}
+}
+
+// TestDecodeBatchMatchesNext: the Peek/Discard fast path and the per-record
+// slow path produce identical streams, batch by batch, for an image sized
+// to cross several bufio refill boundaries.
+func TestDecodeBatchMatchesNext(t *testing.T) {
+	accs, img := batchTestImage(t, 20_000)
+	batched, err := NewFileSource(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]Access, 0, len(accs))
+	buf := make([]Access, 113) // deliberately off-power-of-two
+	for {
+		n, err := batched.NextBatch(buf)
+		got = append(got, buf[:n]...)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(accs) {
+		t.Fatalf("decoded %d accesses, want %d", len(got), len(accs))
+	}
+	for i := range got {
+		if got[i] != accs[i] {
+			t.Fatalf("access %d: %+v != %+v", i, got[i], accs[i])
+		}
+	}
+}

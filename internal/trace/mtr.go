@@ -191,46 +191,67 @@ type Decoder struct {
 // NewDecoder reads the magic and header from r and returns a Decoder
 // positioned at the first record.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", coalesceEOF(err))
+	d := &Decoder{br: bufio.NewReader(r)}
+	if err := d.init(); err != nil {
+		return nil, err
 	}
-	d := &Decoder{br: br}
+	return d, nil
+}
+
+// init reads the magic and header and resets all per-stream decode state.
+// It is called both by NewDecoder and when a FileSource rewinds, so a Reset
+// reuses the Decoder and its bufio buffer instead of reallocating them.
+func (d *Decoder) init() error {
+	// Peek/Discard instead of ReadFull into a local: the local would escape
+	// through the io.Reader interface, costing one allocation per Reset.
+	win, err := d.br.Peek(4)
+	if err != nil {
+		return fmt.Errorf("trace: reading magic: %w", coalesceEOF(err))
+	}
+	var m [4]byte
+	copy(m[:], win)
+	d.br.Discard(4)
+	d.hdr = Header{}
+	d.legacy = false
+	d.remaining = 0
+	d.prev = 0
+	d.count = 0
+	d.done = false
 	switch m {
 	case magic2:
 		bs, err := d.uvarint("header block size")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ps, err := d.uvarint("header page size")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nodes, err := d.uvarint("header node count")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		const maxGeom = 1 << 30
 		if bs > maxGeom || ps > maxGeom || nodes > memory.MaxNodes {
-			return nil, fmt.Errorf("trace: implausible header (block %d, page %d, nodes %d): %w", bs, ps, nodes, ErrCorrupt)
+			return fmt.Errorf("trace: implausible header (block %d, page %d, nodes %d): %w", bs, ps, nodes, ErrCorrupt)
 		}
 		d.hdr = Header{BlockSize: int(bs), PageSize: int(ps), Nodes: int(nodes)}
 	case magic:
 		d.legacy = true
-		var hdr [8]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading count: %w", coalesceEOF(err))
+		hdr, err := d.br.Peek(8)
+		if err != nil {
+			return fmt.Errorf("trace: reading count: %w", coalesceEOF(err))
 		}
-		d.remaining = binary.LittleEndian.Uint64(hdr[:])
+		d.remaining = binary.LittleEndian.Uint64(hdr)
+		d.br.Discard(8)
 		const sanityMax = 1 << 32
 		if d.remaining > sanityMax {
-			return nil, fmt.Errorf("trace: implausible record count %d: %w", d.remaining, ErrCorrupt)
+			return fmt.Errorf("trace: implausible record count %d: %w", d.remaining, ErrCorrupt)
 		}
 	default:
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
-	return d, nil
+	return nil
 }
 
 // coalesceEOF folds the two flavors of premature end-of-input into
@@ -256,6 +277,36 @@ func (d *Decoder) uvarint(what string) (uint64, error) {
 // Header returns the geometry header (zero for legacy MTR1 input).
 func (d *Decoder) Header() Header { return d.hdr }
 
+// recordErr wraps a varint read failure with the record position it
+// happened at. Building the context string only here keeps fmt.Sprintf off
+// the per-record success path.
+func (d *Decoder) recordErr(what string, err error) error {
+	what = fmt.Sprintf("record %d %s", d.count, what)
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("trace: reading %s: %w", what, coalesceEOF(err))
+	}
+	return fmt.Errorf("trace: reading %s: %w: %v", what, ErrCorrupt, err)
+}
+
+// finishTrailer validates the count trailer after the 0x00 terminator and
+// demands a clean EOF. On success it marks the decoder done.
+func (d *Decoder) finishTrailer() error {
+	n, err := d.uvarint("trailer count")
+	if err != nil {
+		return err
+	}
+	if n != d.count {
+		return fmt.Errorf("trace: trailer count %d != %d records decoded: %w", n, d.count, ErrCorrupt)
+	}
+	if _, err := d.br.ReadByte(); err == nil {
+		return fmt.Errorf("trace: trailing bytes after trailer: %w", ErrCorrupt)
+	} else if !errors.Is(err, io.EOF) {
+		return err
+	}
+	d.done = true
+	return nil
+}
+
 // Next returns the next access, or io.EOF after the final one. Any other
 // error wraps ErrTruncated or ErrCorrupt.
 func (d *Decoder) Next() (Access, error) {
@@ -265,25 +316,14 @@ func (d *Decoder) Next() (Access, error) {
 	if d.legacy {
 		return d.nextLegacy()
 	}
-	head, err := d.uvarint(fmt.Sprintf("record %d head", d.count))
+	head, err := binary.ReadUvarint(d.br)
 	if err != nil {
-		return Access{}, err
+		return Access{}, d.recordErr("head", err)
 	}
 	if head == 0 {
-		// Terminator: check the count trailer and demand clean EOF.
-		n, err := d.uvarint("trailer count")
-		if err != nil {
+		if err := d.finishTrailer(); err != nil {
 			return Access{}, err
 		}
-		if n != d.count {
-			return Access{}, fmt.Errorf("trace: trailer count %d != %d records decoded: %w", n, d.count, ErrCorrupt)
-		}
-		if _, err := d.br.ReadByte(); err == nil {
-			return Access{}, fmt.Errorf("trace: trailing bytes after trailer: %w", ErrCorrupt)
-		} else if !errors.Is(err, io.EOF) {
-			return Access{}, err
-		}
-		d.done = true
 		return Access{}, io.EOF
 	}
 	kn := head - 1
@@ -291,15 +331,113 @@ func (d *Decoder) Next() (Access, error) {
 	if node > 0xFF || (d.hdr.Nodes > 0 && node >= uint64(d.hdr.Nodes)) {
 		return Access{}, fmt.Errorf("trace: record %d has impossible node %d: %w", d.count, node, ErrCorrupt)
 	}
-	enc, err := d.uvarint(fmt.Sprintf("record %d address", d.count))
+	enc, err := binary.ReadUvarint(d.br)
 	if err != nil {
-		return Access{}, err
+		return Access{}, d.recordErr("address", err)
 	}
 	delta := int64(enc>>1) ^ -int64(enc&1) // un-zigzag
 	addr := memory.Addr(int64(d.prev) + delta)
 	d.prev = addr
 	d.count++
 	return Access{Node: memory.NodeID(node), Kind: Kind(kn & 1), Addr: addr}, nil
+}
+
+// DecodeBatch fills buf with up to len(buf) accesses, implementing the
+// BatchReader contract. The hot path decodes varints straight out of the
+// bufio window via Peek/Discard — no per-byte io.ByteReader calls and no
+// per-record error-context formatting — and falls back to Next only to
+// cross a buffer refill boundary.
+func (d *Decoder) DecodeBatch(buf []Access) (int, error) {
+	if d.done {
+		return 0, io.EOF
+	}
+	n := 0
+	if d.legacy {
+		for n < len(buf) {
+			a, err := d.nextLegacy()
+			if err != nil {
+				return n, err
+			}
+			buf[n] = a
+			n++
+		}
+		return n, nil
+	}
+	// A record is two varints of at most MaxVarintLen64 bytes each; as long
+	// as that many bytes are buffered, both decode without boundary checks.
+	// Peeking the whole buffered window (not just one record's worth)
+	// amortizes the Peek/Discard bookkeeping over the hundreds of records a
+	// bufio buffer holds, leaving two varint decodes per record.
+	const maxRec = 2 * binary.MaxVarintLen64
+	prev := d.prev
+	for n < len(buf) {
+		avail := d.br.Buffered()
+		if avail < maxRec {
+			if win, _ := d.br.Peek(maxRec); len(win) < maxRec {
+				// Near a refill or the end of input: take the careful path.
+				d.prev = prev
+				a, err := d.Next()
+				if err != nil {
+					return n, err
+				}
+				prev = d.prev
+				buf[n] = a
+				n++
+				continue
+			}
+			avail = d.br.Buffered()
+		}
+		win, _ := d.br.Peek(avail)
+		off := 0
+		for n < len(buf) && off+maxRec <= len(win) {
+			// Single-byte varints dominate (heads fit one byte for up to 127
+			// nodes, and delta-encoded addresses are usually small), so check
+			// the continuation bit inline before calling binary.Uvarint.
+			var head uint64
+			var hn int
+			if b := win[off]; b < 0x80 {
+				head, hn = uint64(b), 1
+			} else if head, hn = binary.Uvarint(win[off:]); hn <= 0 {
+				d.br.Discard(off)
+				d.prev = prev
+				return n, d.recordErr("head", errors.New("overlong varint"))
+			}
+			if head == 0 {
+				d.br.Discard(off + hn)
+				d.prev = prev
+				if err := d.finishTrailer(); err != nil {
+					return n, err
+				}
+				return n, io.EOF
+			}
+			kn := head - 1
+			node := kn >> 1
+			if node > 0xFF || (d.hdr.Nodes > 0 && node >= uint64(d.hdr.Nodes)) {
+				d.br.Discard(off)
+				d.prev = prev
+				return n, fmt.Errorf("trace: record %d has impossible node %d: %w", d.count, node, ErrCorrupt)
+			}
+			var enc uint64
+			var en int
+			if b := win[off+hn]; b < 0x80 {
+				enc, en = uint64(b), 1
+			} else if enc, en = binary.Uvarint(win[off+hn:]); en <= 0 {
+				d.br.Discard(off)
+				d.prev = prev
+				return n, d.recordErr("address", errors.New("overlong varint"))
+			}
+			delta := int64(enc>>1) ^ -int64(enc&1) // un-zigzag
+			addr := memory.Addr(int64(prev) + delta)
+			prev = addr
+			buf[n] = Access{Node: memory.NodeID(node), Kind: Kind(kn & 1), Addr: addr}
+			n++
+			d.count++
+			off += hn + en
+		}
+		d.br.Discard(off)
+	}
+	d.prev = prev
+	return n, nil
 }
 
 func (d *Decoder) nextLegacy() (Access, error) {
@@ -361,17 +499,18 @@ func (s *FileSource) Header() Header { return s.dec.Header() }
 // Next implements Source.
 func (s *FileSource) Next() (Access, error) { return s.dec.Next() }
 
-// Reset implements Source by seeking back to the start of the stream.
+// NextBatch implements BatchReader via Decoder.DecodeBatch.
+func (s *FileSource) NextBatch(buf []Access) (int, error) { return s.dec.DecodeBatch(buf) }
+
+// Reset implements Source by seeking back to the start of the stream. The
+// Decoder and its buffer are reused across Resets, so the two-pass
+// placement/simulation workflow allocates no per-pass decode state.
 func (s *FileSource) Reset() error {
 	if _, err := s.r.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	dec, err := NewDecoder(s.r)
-	if err != nil {
-		return err
-	}
-	s.dec = dec
-	return nil
+	s.dec.br.Reset(s.r)
+	return s.dec.init()
 }
 
 // Close implements Source, closing the underlying file when the source was

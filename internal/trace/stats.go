@@ -116,15 +116,19 @@ func observeBlock(blocks map[memory.BlockID]*blockHistory, a Access, geom memory
 
 func buildHistories(src Reader, geom memory.Geometry) (map[memory.BlockID]*blockHistory, error) {
 	blocks := make(map[memory.BlockID]*blockHistory)
+	buf := GetBatch()
+	defer PutBatch(buf)
 	for {
-		a, err := src.Next()
+		n, err := FillBatch(src, buf)
+		for _, a := range buf[:n] {
+			observeBlock(blocks, a, geom)
+		}
 		if errors.Is(err, io.EOF) {
 			return blocks, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		observeBlock(blocks, a, geom)
 	}
 }
 
@@ -147,23 +151,27 @@ func AnalyzeSource(src Reader, geom memory.Geometry) (Stats, error) {
 	perNode := make(map[memory.NodeID]int)
 	blocks := make(map[memory.BlockID]*blockHistory)
 
+	buf := GetBatch()
+	defer PutBatch(buf)
 	for {
-		a, err := src.Next()
+		n, err := FillBatch(src, buf)
+		for _, a := range buf[:n] {
+			st.Accesses++
+			if a.Kind == Read {
+				st.Reads++
+			} else {
+				st.Writes++
+			}
+			perNode[a.Node]++
+			pages[geom.Page(a.Addr)] = struct{}{}
+			observeBlock(blocks, a, geom)
+		}
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
 			return Stats{}, err
 		}
-		st.Accesses++
-		if a.Kind == Read {
-			st.Reads++
-		} else {
-			st.Writes++
-		}
-		perNode[a.Node]++
-		pages[geom.Page(a.Addr)] = struct{}{}
-		observeBlock(blocks, a, geom)
 	}
 
 	st.Blocks = len(blocks)

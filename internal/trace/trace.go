@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"migratory/internal/memory"
 )
@@ -60,6 +61,71 @@ type Reader interface {
 	Next() (Access, error)
 }
 
+// DefaultBatchSize is the chunk size the simulators pull accesses in. A
+// 4096-entry batch of 16-byte Access records is 64 KiB — big enough to
+// amortize the per-batch interface call and the hoisted cancellation and
+// probe checks down to noise, small enough to stay cache-friendly and keep
+// per-worker buffers cheap under Options.Parallelism.
+const DefaultBatchSize = 4096
+
+// BatchReader is implemented by readers that can deliver accesses in bulk.
+// NextBatch fills buf with up to len(buf) accesses and returns how many it
+// wrote. Like io.Reader, it may return n > 0 alongside a non-nil error
+// (including io.EOF when the stream ends mid-batch); callers must process
+// the n accesses before looking at the error. After the final access it
+// returns (0, io.EOF).
+//
+// All Sources in this package implement BatchReader; external Reader
+// implementations are adapted by FillBatch.
+type BatchReader interface {
+	NextBatch(buf []Access) (int, error)
+}
+
+// FillBatch reads up to len(buf) accesses from r into buf. It uses r's own
+// NextBatch when r implements BatchReader and otherwise falls back to
+// repeated Next calls, so callers can batch over any Reader. The semantics
+// match BatchReader.NextBatch.
+func FillBatch(r Reader, buf []Access) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		a, err := r.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = a
+		n++
+	}
+	return n, nil
+}
+
+// batchPool recycles DefaultBatchSize access buffers across runs so a
+// parallel sweep's steady state allocates no per-cell batch buffers.
+var batchPool = sync.Pool{
+	New: func() any {
+		buf := make([]Access, DefaultBatchSize)
+		return &buf
+	},
+}
+
+// GetBatch returns a DefaultBatchSize buffer from a shared pool. Return it
+// with PutBatch when the run is done.
+func GetBatch() []Access {
+	return *batchPool.Get().(*[]Access)
+}
+
+// PutBatch returns a buffer obtained from GetBatch to the pool. Buffers of
+// other capacities are dropped.
+func PutBatch(buf []Access) {
+	if cap(buf) != DefaultBatchSize {
+		return
+	}
+	buf = buf[:DefaultBatchSize]
+	batchPool.Put(&buf)
+}
+
 // Source is a pull-based stream of accesses that can be replayed. Every
 // simulator in the repository consumes traces through this interface, so a
 // trace never has to be materialized as a slice: it may live in memory
@@ -97,6 +163,17 @@ func (s *SliceSource) Next() (Access, error) {
 	a := s.accesses[s.pos]
 	s.pos++
 	return a, nil
+}
+
+// NextBatch implements BatchReader by copying straight out of the backing
+// slice.
+func (s *SliceSource) NextBatch(buf []Access) (int, error) {
+	n := copy(buf, s.accesses[s.pos:])
+	s.pos += n
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
 }
 
 // Reset implements Source; it never fails.

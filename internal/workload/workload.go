@@ -586,6 +586,24 @@ func (s *Source) Next() (trace.Access, error) {
 	return s.g.next(), nil
 }
 
+// NextBatch implements trace.BatchReader. Batched and single-access pulls
+// consume the generator's random stream in exactly the same order, so a
+// batched run stays bit-identical to an unbatched one.
+func (s *Source) NextBatch(buf []trace.Access) (int, error) {
+	if s.emitted >= s.length {
+		return 0, io.EOF
+	}
+	n := s.length - s.emitted
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = s.g.next()
+	}
+	s.emitted += n
+	return n, nil
+}
+
 // Reset implements trace.Source by rebuilding the generator from the
 // original parameters.
 func (s *Source) Reset() error {
