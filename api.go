@@ -148,6 +148,27 @@ func NewDirectorySystem(cfg DirectoryConfig) (*DirectorySystem, error) {
 	return directory.New(cfg)
 }
 
+// ShardedDirectorySystem runs one directory protocol over one trace on
+// several engine shards in parallel, partitioned by cache-set index;
+// counters, histograms, and classifier verdicts merge bit-identical to a
+// sequential run.
+type ShardedDirectorySystem = directory.Sharded
+
+// NewShardedDirectorySystem builds a set-sharded directory simulator of
+// shards engine instances (a positive power of two, at most the per-cache
+// set count for finite caches). cfg.Probe must be nil; pass per-shard
+// probes via the probes factory (which may be nil) and merge MetricsProbes
+// with MergeMetrics afterwards.
+func NewShardedDirectorySystem(cfg DirectoryConfig, shards int, probes func(int) Probe) (*ShardedDirectorySystem, error) {
+	return directory.NewSharded(cfg, shards, probes)
+}
+
+// MaxDirectoryShards returns the largest usable shard count for a finite
+// per-node cache (0 for infinite caches, meaning no limit).
+func MaxDirectoryShards(cacheBytes, blockSize, assoc int) int {
+	return directory.MaxShards(cacheBytes, blockSize, assoc)
+}
+
 // Page placement (§3.3).
 type PlacementPolicy = placement.Policy
 
@@ -200,6 +221,17 @@ const (
 // NewBusSystem builds a snooping bus simulator.
 func NewBusSystem(cfg BusConfig) (*BusSystem, error) { return snoop.New(cfg) }
 
+// ShardedBusSystem runs one snooping protocol over one trace on several
+// engine shards in parallel, partitioned by cache-set index, with counts
+// bit-identical to a sequential run.
+type ShardedBusSystem = snoop.Sharded
+
+// NewShardedBusSystem builds a set-sharded bus simulator; the constraints
+// match NewShardedDirectorySystem.
+func NewShardedBusSystem(cfg BusConfig, shards int, probes func(int) Probe) (*ShardedBusSystem, error) {
+	return snoop.NewSharded(cfg, shards, probes)
+}
+
 // Workloads (the SPLASH substitution of DESIGN.md §4).
 type (
 	// WorkloadProfile describes one application.
@@ -251,8 +283,10 @@ func ScaleWorkload(p WorkloadProfile, factor float64) (WorkloadProfile, error) {
 type (
 	// ExperimentOptions configures a sweep. Its Parallelism field bounds
 	// the worker pool the sweep drivers fan independent simulation cells
-	// out on (0 = all CPUs, 1 = sequential); results are bit-identical
-	// regardless of the setting.
+	// out on (0 = all CPUs, 1 = sequential), and its Shards field splits
+	// each untimed simulation cell across per-set engine shards (1 =
+	// sequential, -1 = all CPUs); results are bit-identical regardless of
+	// either setting.
 	ExperimentOptions = sim.Options
 	// Sweep holds a directory-protocol sweep (Tables 2 and 3).
 	Sweep = sim.Sweep
@@ -422,6 +456,18 @@ func OpenTraceFile(path string) (*FileTraceSource, error) { return trace.OpenFil
 // NewFileTraceSource decodes a binary trace from any seekable reader,
 // e.g. a bytes.Reader holding an .mtr image.
 func NewFileTraceSource(r io.ReadSeeker) (*FileTraceSource, error) { return trace.NewFileSource(r) }
+
+// PrefetchTraceSource wraps another source with a decode goroutine running
+// one batch window ahead, so file IO and varint decode overlap the
+// consumer's work. It owns the inner source: Close closes it, Reset
+// rewinds it.
+type PrefetchTraceSource = trace.PrefetchSource
+
+// NewPrefetchTraceSource returns src wrapped with a prefetching decode
+// stage.
+func NewPrefetchTraceSource(src TraceSource) *PrefetchTraceSource {
+	return trace.NewPrefetchSource(src)
+}
 
 // NewTraceWriter returns a writer encoding accesses to w in the streaming
 // .mtr format. Close it to emit the integrity trailer.

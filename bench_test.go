@@ -1170,3 +1170,155 @@ func BenchmarkProbeOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkShardedTable2 prices set-sharded intra-run parallelism on the
+// Table 2 directory workload (all four policies, 64 KB caches, MP3D over an
+// .mtr-backed source): a sequential run versus the same run split across 8
+// per-set engine shards. The modes are asserted bit-identical; ns/op for
+// each, the speedup, and the machine's GOMAXPROCS go to
+// results/bench_sweep.json. The speedup scales with real cores — on a
+// single-CPU machine the sharded run only pays the demux overhead.
+func BenchmarkShardedTable2(b *testing.B) {
+	img := benchMTRImage(b, "MP3D")
+	pl := placement.UsageBased(benchTrace(b, "MP3D"), benchGeom, 16)
+	run := func(b *testing.B, shards int) (cost.Msgs, directory.Counters) {
+		b.Helper()
+		var msgs cost.Msgs
+		var n directory.Counters
+		for _, pol := range core.Policies() {
+			cfg := directory.Config{
+				Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+				Policy: pol, Placement: pl,
+			}
+			sys, err := directory.NewSharded(cfg, shards, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.RunSource(nil, benchFileSource(b, img, true)); err != nil {
+				b.Fatal(err)
+			}
+			msgs = msgs.Add(sys.Messages())
+			n = sys.Counters()
+		}
+		return msgs, n
+	}
+
+	modes := []struct {
+		name   string
+		shards int
+	}{
+		{"sequential", 1},
+		{"sharded8", 8},
+	}
+	msgs := make([]cost.Msgs, len(modes))
+	counters := make([]directory.Counters, len(modes))
+	elapsed := make([]time.Duration, len(modes))
+	mallocs := make([]uint64, len(modes))
+	allocBytes := make([]uint64, len(modes))
+	// Interleaved measurement, as in BenchmarkBatchedTable2.
+	b.Run("paired", func(b *testing.B) {
+		var before, after runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			for mi, m := range modes {
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				msgs[mi], counters[mi] = run(b, m.shards)
+				elapsed[mi] += time.Since(start)
+				runtime.ReadMemStats(&after)
+				mallocs[mi] += after.Mallocs - before.Mallocs
+				allocBytes[mi] += after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		for mi := 1; mi < len(modes); mi++ {
+			if msgs[mi] != msgs[0] || counters[mi] != counters[0] {
+				b.Fatalf("%s diverged from %s: %+v/%+v vs %+v/%+v",
+					modes[mi].name, modes[0].name, msgs[mi], counters[mi], msgs[0], counters[0])
+			}
+		}
+		measured := map[string]float64{"gomaxprocs": float64(runtime.GOMAXPROCS(0))}
+		for mi, m := range modes {
+			measured[m.name+"_ns_per_op"] = float64(elapsed[mi].Nanoseconds()) / float64(b.N)
+			measured[m.name+"_bytes_per_op"] = float64(allocBytes[mi]) / float64(b.N)
+			measured[m.name+"_allocs_per_op"] = float64(mallocs[mi]) / float64(b.N)
+		}
+		speedup := measured["sequential_ns_per_op"] / measured["sharded8_ns_per_op"]
+		measured["speedup"] = speedup
+		b.ReportMetric(speedup, "speedup-8-shards")
+		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkShardedTable2", measured); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkPrefetchMTR prices the prefetching decode stage on .mtr replay:
+// the basic policy at 64 KB over a file-backed trace, pulled directly
+// versus through a PrefetchSource whose goroutine decodes one window
+// ahead. Counters are asserted bit-identical; on a single-CPU machine the
+// overlap cannot show, so the prefetch mode there measures pure handoff
+// overhead.
+func BenchmarkPrefetchMTR(b *testing.B) {
+	img := benchMTRImage(b, "MP3D")
+	run := func(b *testing.B, prefetch bool) (cost.Msgs, directory.Counters) {
+		b.Helper()
+		pl := placement.NewRoundRobin(16)
+		sys, err := directory.New(directory.Config{
+			Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+			Policy: core.Basic, Placement: pl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := benchFileSource(b, img, true)
+		if prefetch {
+			src = trace.NewPrefetchSource(src)
+		}
+		defer src.Close()
+		if err := sys.RunSource(nil, src); err != nil {
+			b.Fatal(err)
+		}
+		return sys.Messages(), sys.Counters()
+	}
+
+	modes := []struct {
+		name     string
+		prefetch bool
+	}{
+		{"direct", false},
+		{"prefetch", true},
+	}
+	msgs := make([]cost.Msgs, len(modes))
+	counters := make([]directory.Counters, len(modes))
+	elapsed := make([]time.Duration, len(modes))
+	mallocs := make([]uint64, len(modes))
+	allocBytes := make([]uint64, len(modes))
+	b.Run("paired", func(b *testing.B) {
+		var before, after runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			for mi, m := range modes {
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				msgs[mi], counters[mi] = run(b, m.prefetch)
+				elapsed[mi] += time.Since(start)
+				runtime.ReadMemStats(&after)
+				mallocs[mi] += after.Mallocs - before.Mallocs
+				allocBytes[mi] += after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		if msgs[0] != msgs[1] || counters[0] != counters[1] {
+			b.Fatalf("prefetch run diverged: %+v/%+v vs %+v/%+v",
+				msgs[1], counters[1], msgs[0], counters[0])
+		}
+		measured := map[string]float64{"gomaxprocs": float64(runtime.GOMAXPROCS(0))}
+		for mi, m := range modes {
+			measured[m.name+"_ns_per_op"] = float64(elapsed[mi].Nanoseconds()) / float64(b.N)
+			measured[m.name+"_bytes_per_op"] = float64(allocBytes[mi]) / float64(b.N)
+			measured[m.name+"_allocs_per_op"] = float64(mallocs[mi]) / float64(b.N)
+		}
+		speedup := measured["direct_ns_per_op"] / measured["prefetch_ns_per_op"]
+		measured["speedup"] = speedup
+		b.ReportMetric(speedup, "speedup-prefetch")
+		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkPrefetchMTR", measured); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

@@ -38,7 +38,11 @@ const defaultChecks = "BenchmarkBatchedTable2:speedup," +
 	"BenchmarkBatchedBus:speedup," +
 	"BenchmarkBatchedBus:batched_ns_per_op:0.60," +
 	"BenchmarkBatchedBus:batched_allocs_per_op," +
-	"BenchmarkProbeOverhead/nil-probe:allocs_per_op"
+	"BenchmarkProbeOverhead/nil-probe:allocs_per_op," +
+	"BenchmarkShardedTable2:speedup:0.60," +
+	"BenchmarkShardedTable2:sequential_ns_per_op:0.60," +
+	"BenchmarkShardedTable2:sharded8_ns_per_op:0.60," +
+	"BenchmarkPrefetchMTR:prefetch_ns_per_op:0.60"
 
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)

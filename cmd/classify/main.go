@@ -85,12 +85,13 @@ func main() {
 	fmt.Println("migratory detection.")
 	fmt.Println()
 	geom := memory.MustGeometry(16, sim.PageSize)
+	shards := cliutil.ResolveShards(opts.Shards, *cache, 16)
 	for _, app := range apps {
-		sys, err := directory.New(directory.Config{
+		sys, err := directory.NewSharded(directory.Config{
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: *cache,
 			Policy:    core.Conventional,
 			Placement: app.Placement,
-		})
+		}, shards, nil)
 		if err != nil {
 			cliutil.Fatal("classify", "%v", err)
 		}

@@ -52,6 +52,7 @@ func main() {
 		variant   = flag.String("variant", "basic", "protocol variant (directory: conventional, conservative, basic, aggressive, stenstrom; bus: mesi, adaptive, adaptive-migrate-first, symmetry, berkeley, update-once)")
 		cacheKB   = flag.Int("cache", 0, "per-node cache size in KB (0 = infinite)")
 		blockSize = flag.Int("block", 16, "block size in bytes")
+		shards    = flag.Int("shards", 1, "engine shards, split by cache-set index (1 = sequential, -1 = all CPUs; metrics are identical either way, but per-event output needs -shards 1)")
 
 		kinds     = flag.String("kinds", "", "comma-separated event kinds to show (default: all; e.g. classify,migration)")
 		blocks    = flag.String("blocks", "", "comma-separated block IDs to show (default: all)")
@@ -81,16 +82,29 @@ func main() {
 		cliutil.Usagef("inspect", "%v", err)
 	}
 
+	if *shards < 1 && *shards != -1 {
+		cliutil.Usagef("inspect", "-shards must be >= 1 or -1 for all CPUs (got %d)", *shards)
+	}
+	nshards := cliutil.ResolveShards(*shards, *cacheKB<<10, *blockSize)
+	if nshards > 1 {
+		if *jsonlOut != "" || *perfetto != "" {
+			cliutil.Usagef("inspect", "-jsonl/-perfetto need the single globally ordered event stream of -shards 1")
+		}
+		if *events {
+			fmt.Fprintln(os.Stderr, "inspect: note: per-event printing is off under -shards > 1 (shards interleave events); metrics stay exact")
+			*events = false
+		}
+	}
+
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	src := openSource(*app, *traceIn, *nodes, *seed, *length)
 	defer src.Close()
 
-	// Assemble the probe chain: the metrics probe sees the full stream;
-	// printer and exporters sit behind the filter.
-	mp := &obs.MetricsProbe{}
-	probes := obs.MultiProbe{mp}
+	// Assemble the per-event probe chain (printer and exporters behind the
+	// filter); the full-stream metrics probes are built per shard inside run
+	// and merged afterwards.
 	var filtered obs.MultiProbe
 
 	printed, truncated := 0, false
@@ -124,11 +138,12 @@ func main() {
 		tp = obs.NewTraceEventProbe(f)
 		filtered = append(filtered, tp)
 	}
+	var extra obs.Probe
 	if len(filtered) > 0 {
-		probes = append(probes, obs.FilterProbe{Filter: filter, Next: filtered})
+		extra = obs.FilterProbe{Filter: filter, Next: filtered}
 	}
 
-	run(ctx, *engine, *variant, src, *nodes, *cacheKB<<10, *blockSize, probes)
+	mp := run(ctx, *engine, *variant, src, *nodes, *cacheKB<<10, *blockSize, nshards, extra)
 
 	if truncated {
 		fmt.Printf("... (stream truncated at %d events; raise -max)\n", *max)
@@ -205,13 +220,25 @@ func (c *countingSource) Next() (trace.Access, error) {
 	return a, err
 }
 
-// run replays the source under the selected engine and variant with the
-// probe attached. The directory engine takes a profiling pass first (for
-// the usage-based placement), then the source is rewound for simulation.
-func run(ctx context.Context, engine, variant string, src trace.Source, nodes, cacheBytes, blockSize int, probe obs.Probe) {
+// run replays the source under the selected engine and variant across
+// shards engine instances (1 = sequential) and returns the merged
+// full-stream metrics probe. extra, when non-nil, is the filtered per-event
+// chain (printer/exporters); it attaches to shard 0, which under -shards 1
+// is the whole stream. The directory engine takes a profiling pass first
+// (for the usage-based placement), then the source is rewound for
+// simulation.
+func run(ctx context.Context, engine, variant string, src trace.Source, nodes, cacheBytes, blockSize, shards int, extra obs.Probe) *obs.MetricsProbe {
 	geom, err := memory.NewGeometry(blockSize, sim.PageSize)
 	if err != nil {
 		fatal("%v", err)
+	}
+	per := make([]*obs.MetricsProbe, shards)
+	probeAt := func(i int) obs.Probe {
+		per[i] = &obs.MetricsProbe{}
+		if i == 0 && extra != nil {
+			return obs.MultiProbe{per[i], extra}
+		}
+		return per[i]
 	}
 	switch engine {
 	case "directory":
@@ -226,14 +253,13 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 		if err := src.Reset(); err != nil {
 			fatal("%v", err)
 		}
-		sys, err := directory.New(directory.Config{
+		sys, err := directory.NewSharded(directory.Config{
 			Nodes:      nodes,
 			Geometry:   geom,
 			CacheBytes: cacheBytes,
 			Policy:     pol,
 			Placement:  pl,
-			Probe:      probe,
-		})
+		}, shards, probeAt)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -248,13 +274,12 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 		if err != nil {
 			cliutil.Usagef("inspect", "%v", err)
 		}
-		sys, err := snoop.New(snoop.Config{
+		sys, err := snoop.NewSharded(snoop.Config{
 			Nodes:      nodes,
 			Geometry:   geom,
 			CacheBytes: cacheBytes,
 			Protocol:   prot,
-			Probe:      probe,
-		})
+		}, shards, probeAt)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -267,4 +292,5 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 	default:
 		cliutil.Usagef("inspect", "unknown engine %q (want directory or bus)", engine)
 	}
+	return obs.MergeMetrics(per...)
 }

@@ -68,7 +68,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		src = fs
+		// Decode ahead of the consumer so file IO and varint decode overlap
+		// the streaming statistics passes.
+		src = trace.NewPrefetchSource(fs)
 	case *app != "":
 		prof, err := workload.ProfileByName(*app)
 		if err != nil {

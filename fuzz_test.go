@@ -181,6 +181,57 @@ func FuzzMTRDecode(f *testing.F) {
 	})
 }
 
+// FuzzShardDemux checks the property the sharded engines rest on: the
+// demux stage partitions an arbitrary trace by the routing function and,
+// within every shard, preserves the accesses' original relative order —
+// equivalently, each shard receives exactly the subsequence of the trace
+// that routes to it, with Steps carrying the global indices.
+func FuzzShardDemux(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data, 16, 250)
+		for _, shards := range []int{1, 2, 4} {
+			route := func(a trace.Access) int { return int(a.Addr/16) % shards }
+
+			// Expected per-shard subsequences, from a sequential pass.
+			want := make([][]trace.Access, shards)
+			for _, a := range accs {
+				s := route(a)
+				want[s] = append(want[s], a)
+			}
+
+			got := make([][]trace.Access, shards)
+			steps := make([][]uint64, shards)
+			err := trace.Demux(nil, trace.NewSliceSource(accs), shards, true, route,
+				func(shard int, b trace.ShardBatch) error {
+					got[shard] = append(got[shard], b.Accs...)
+					steps[shard] = append(steps[shard], b.Steps...)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < shards; s++ {
+				if len(got[s]) != len(want[s]) {
+					t.Fatalf("x%d shard %d: %d accesses, want %d", shards, s, len(got[s]), len(want[s]))
+				}
+				prev := -1
+				for i := range want[s] {
+					if got[s][i] != want[s][i] {
+						t.Fatalf("x%d shard %d: access %d is %v, want %v (order not preserved)",
+							shards, s, i, got[s][i], want[s][i])
+					}
+					st := int(steps[s][i])
+					if st <= prev || st >= len(accs) || accs[st] != got[s][i] {
+						t.Fatalf("x%d shard %d: bad global step %d at position %d", shards, s, st, i)
+					}
+					prev = st
+				}
+			}
+		}
+	})
+}
+
 // FuzzTraceCodec round-trips arbitrary traces through the binary format.
 func FuzzTraceCodec(f *testing.F) {
 	fuzzSeeds(f)

@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"migratory/internal/memory"
 )
@@ -46,12 +47,32 @@ type Config struct {
 	// Assoc is the set associativity. The paper uses 4-way throughout.
 	// Ignored for infinite caches.
 	Assoc int
+	// Shards and ShardIndex carve a set-sharded slice out of the cache:
+	// when Shards > 1 the cache holds only the sets whose index is
+	// congruent to ShardIndex modulo Shards, and stores them compactly (a
+	// sharded run's per-shard caches together cost the same memory as one
+	// full cache). Shards must be a power of two no larger than the set
+	// count; zero means unsharded. Blocks outside the shard's sets must
+	// never be presented to the cache — set sharding is the caller's
+	// routing contract, not checked per access.
+	Shards     int
+	ShardIndex int
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
 		return fmt.Errorf("cache: block size %d is not a positive power of two", c.BlockSize)
+	}
+	if c.Shards > 1 {
+		if c.Shards&(c.Shards-1) != 0 {
+			return fmt.Errorf("cache: shard count %d is not a power of two", c.Shards)
+		}
+		if c.ShardIndex < 0 || c.ShardIndex >= c.Shards {
+			return fmt.Errorf("cache: shard index %d out of range [0, %d)", c.ShardIndex, c.Shards)
+		}
+	} else if c.ShardIndex != 0 {
+		return fmt.Errorf("cache: shard index %d without sharding", c.ShardIndex)
 	}
 	if c.SizeBytes == 0 {
 		return nil // infinite
@@ -73,6 +94,9 @@ func (c Config) Validate() error {
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache: set count %d is not a power of two", sets)
 	}
+	if c.Shards > sets {
+		return fmt.Errorf("cache: %d shards exceed %d sets", c.Shards, sets)
+	}
 	return nil
 }
 
@@ -86,13 +110,14 @@ func (c Config) Validate() error {
 // show the tag scan as the single largest per-access cost, which makes its
 // memory footprint worth this layout.
 type Cache struct {
-	cfg      Config
-	tags     []tagEntry // nil for infinite caches; len == sets*assoc
-	lines    []Line     // parallel to tags
-	assoc    int
-	setMask  memory.BlockID
-	infinite *memory.BlockMap[Line] // used when cfg.SizeBytes == 0
-	clock    uint64
+	cfg        Config
+	tags       []tagEntry // nil for infinite caches; len == sets*assoc
+	lines      []Line     // parallel to tags
+	assoc      int
+	setMask    memory.BlockID
+	shardShift uint // log2(Shards); global set index >> shardShift & setMask = local set
+	infinite   *memory.BlockMap[Line] // used when cfg.SizeBytes == 0
+	clock      uint64
 
 	// Stats.
 	hits      uint64
@@ -120,6 +145,13 @@ func New(cfg Config) *Cache {
 		return c
 	}
 	nsets := cfg.SizeBytes / cfg.BlockSize / cfg.Assoc
+	if cfg.Shards > 1 {
+		// A shard stores its 1/Shards of the sets compactly. A block's low
+		// bits select the shard, so the local set index is the remaining
+		// set-index bits: (block >> log2(Shards)) & (nsets/Shards - 1).
+		nsets /= cfg.Shards
+		c.shardShift = uint(bits.TrailingZeros(uint(cfg.Shards)))
+	}
 	c.tags = make([]tagEntry, nsets*cfg.Assoc)
 	c.lines = make([]Line, nsets*cfg.Assoc)
 	c.assoc = cfg.Assoc
@@ -134,7 +166,9 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Infinite() bool { return c.infinite != nil }
 
 // setBase returns the index of block b's set's first way in tags/lines.
-func (c *Cache) setBase(b memory.BlockID) int { return int(b&c.setMask) * c.assoc }
+func (c *Cache) setBase(b memory.BlockID) int {
+	return int((b>>c.shardShift)&c.setMask) * c.assoc
+}
 
 // Lookup returns the line holding block b, touching LRU state, or nil if
 // the block is not cached. The returned pointer stays valid until the line

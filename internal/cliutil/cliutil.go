@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"migratory/internal/core"
+	"migratory/internal/directory"
 	"migratory/internal/memory"
 	"migratory/internal/obs"
 	"migratory/internal/sim"
@@ -37,6 +38,7 @@ type Flags struct {
 	Seed        *int64
 	Nodes       *int
 	Parallelism *int
+	Shards      *int
 	Trace       *string
 	Stream      *bool
 }
@@ -50,17 +52,75 @@ func Register(name string) *Flags {
 	f.Seed = flag.Int64("seed", 1993, "workload generator seed")
 	f.Nodes = flag.Int("nodes", 16, "processor count")
 	f.Parallelism = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
+	f.Shards = flag.Int("shards", 1, "engine shards per untimed simulation run, split by cache-set index (1 = sequential, -1 = all CPUs; results are identical either way)")
 	f.Trace = flag.String("trace", "", "run over a binary trace file (from tracegen) instead of the built-in workloads")
 	f.Stream = flag.Bool("stream", false, "regenerate traces lazily per simulation cell instead of materializing them (O(1) trace memory; bit-identical results)")
 	return f
 }
 
 // Validate enforces the shared flag invariants after flag.Parse, exiting
-// with usage (status 2) on violation.
+// with usage (status 2) on violation. -shards composes with -parallelism
+// multiplicatively; when the two together would oversubscribe GOMAXPROCS,
+// the worker pool is capped (with a warning on stderr) rather than refused,
+// since results are bit-identical at any setting.
 func (f *Flags) Validate() {
-	if *f.Parallelism < 0 {
-		Usagef(f.name, "-parallelism must be >= 0 (got %d)", *f.Parallelism)
+	f.validateWorkerFlag("-parallelism", *f.Parallelism, 0)
+	f.validateWorkerFlag("-shards", *f.Shards, -1)
+
+	procs := runtime.GOMAXPROCS(0)
+	shards := *f.Shards
+	if shards < 0 {
+		shards = procs
 	}
+	workers := *f.Parallelism
+	if workers == 0 {
+		workers = procs
+	}
+	if shards > procs {
+		fmt.Fprintf(os.Stderr, "%s: warning: -shards %d exceeds GOMAXPROCS (%d); shards will contend for CPUs\n",
+			f.name, shards, procs)
+	}
+	if shards > 1 && workers > 1 && shards*workers > procs {
+		capped := procs / shards
+		if capped < 1 {
+			capped = 1
+		}
+		if capped < workers {
+			fmt.Fprintf(os.Stderr, "%s: warning: -shards %d x -parallelism %d oversubscribes GOMAXPROCS (%d); capping parallelism at %d\n",
+				f.name, shards, workers, procs, capped)
+			*f.Parallelism = capped
+		}
+	}
+}
+
+// ResolveShards turns a -shards value into a usable engine shard count for
+// commands that construct engines directly (sim.Options performs the same
+// resolution internally): -1 means all CPUs, counts round down to a power
+// of two, and finite caches cap the count at the per-cache set count so no
+// shard is left without sets.
+func ResolveShards(shards, cacheBytes, blockSize int) int {
+	if shards == -1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p*2 <= shards {
+		p *= 2
+	}
+	if max := directory.MaxShards(cacheBytes, blockSize, 0); max > 0 && p > max {
+		p = max
+	}
+	return p
+}
+
+// validateWorkerFlag is the shared range check for the two worker-count
+// flags: positive counts are always valid, and auto (the flag's designated
+// auto value: 0 for -parallelism, -1 for -shards) means "all CPUs".
+// Anything else is a usage error.
+func (f *Flags) validateWorkerFlag(flagName string, v, auto int) {
+	if v >= 1 || v == auto {
+		return
+	}
+	Usagef(f.name, "%s must be >= 1 or %d for all CPUs (got %d)", flagName, auto, v)
 }
 
 // Options assembles the sim.Options the flags describe. ctx, when non-nil,
@@ -73,6 +133,7 @@ func (f *Flags) Options(ctx context.Context) sim.Options {
 		Length:      *f.Length,
 		Stream:      *f.Stream,
 		Parallelism: *f.Parallelism,
+		Shards:      *f.Shards,
 	}
 	if *f.Apps != "" {
 		for _, a := range strings.Split(*f.Apps, ",") {
@@ -100,9 +161,16 @@ func (f *Flags) TraceApps() ([]*sim.App, error) {
 // TraceApp wraps one binary trace file (legacy fixed-record or streaming
 // .mtr format) as a sim.App: the usage-based placement comes from one
 // streaming profiling pass, and each Open re-reads the file from the start.
+// Opened sources decode ahead of the simulation on a prefetch goroutine
+// (trace.NewPrefetchSource), so file IO and varint decode overlap the
+// engine's work.
 func TraceApp(path string, nodes int) (*sim.App, error) {
 	return sim.NewSourceApp(path, func() (trace.Source, error) {
-		return trace.OpenFile(path)
+		src, err := trace.OpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewPrefetchSource(src), nil
 	}, nodes)
 }
 

@@ -90,6 +90,12 @@ type Config struct {
 	// simulation loop; nil (the default) costs nothing beyond a branch at
 	// each emission site.
 	Probe obs.Probe
+
+	// shards/shardIndex mark this System as one slice of a set-sharded
+	// run: its caches hold only the sets routed to shardIndex. Set by
+	// NewSharded; zero for a whole-machine System.
+	shards     int
+	shardIndex int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,7 +117,10 @@ func (c Config) Validate() error {
 	if c.Placement == nil {
 		return fmt.Errorf("directory: no placement policy")
 	}
-	cc := cache.Config{SizeBytes: c.CacheBytes, BlockSize: c.Geometry.BlockSize(), Assoc: c.Assoc}
+	cc := cache.Config{
+		SizeBytes: c.CacheBytes, BlockSize: c.Geometry.BlockSize(), Assoc: c.Assoc,
+		Shards: c.shards, ShardIndex: c.shardIndex,
+	}
 	if err := cc.Validate(); err != nil {
 		return err
 	}
@@ -156,6 +165,26 @@ type Counters struct {
 	Declassified    uint64 // transitions migratory->other
 }
 
+// Merge adds o's tallies into c. Counters are pure sums, so merging the
+// per-shard counters of a set-sharded run in any order reproduces the
+// sequential run's totals exactly.
+func (c *Counters) Merge(o Counters) {
+	c.Accesses += o.Accesses
+	c.ReadHits += o.ReadHits
+	c.ReadMisses += o.ReadMisses
+	c.WriteHits += o.WriteHits
+	c.WriteUpgrade += o.WriteUpgrade
+	c.WriteMisses += o.WriteMisses
+	c.Migrations += o.Migrations
+	c.Replications += o.Replications
+	c.Overflows += o.Overflows
+	c.Invalidations += o.Invalidations
+	c.WriteBacks += o.WriteBacks
+	c.CleanDrops += o.CleanDrops
+	c.Classifications += o.Classifications
+	c.Declassified += o.Declassified
+}
+
 // OpInfo describes the coherence action taken by the most recent access,
 // for consumers (like the execution-driven timing model of §4.2) that need
 // more than aggregate counts.
@@ -194,10 +223,14 @@ type System struct {
 	// coherence checking; nil unless CheckCoherence is set.
 	versions *memory.BlockMap[uint64]
 	lastOp   OpInfo
-	// probe mirrors cfg.Probe; cur is the access being serviced, for
-	// stamping emitted events (maintained only when probe is non-nil).
+	// probe mirrors cfg.Probe; cur is the access being serviced and step
+	// its index in the global trace interleaving, for stamping emitted
+	// events (maintained only when probe is non-nil). In a set-sharded run
+	// the step comes from the demux stage, so events carry the same step a
+	// sequential run would stamp.
 	probe obs.Probe
 	cur   trace.Access
+	step  uint64
 	// invalHist counts ownership-acquiring operations by how many remote
 	// copies they invalidated (the cache-invalidation-pattern analysis of
 	// Weber & Gupta, the paper's reference [23], which motivates the whole
@@ -245,9 +278,11 @@ func New(cfg Config) (*System, error) {
 	}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
-			SizeBytes: cfg.CacheBytes,
-			BlockSize: cfg.Geometry.BlockSize(),
-			Assoc:     cfg.Assoc,
+			SizeBytes:  cfg.CacheBytes,
+			BlockSize:  cfg.Geometry.BlockSize(),
+			Assoc:      cfg.Assoc,
+			Shards:     cfg.shards,
+			ShardIndex: cfg.shardIndex,
 		})
 	}
 	if cfg.CheckCoherence {
@@ -282,7 +317,7 @@ func StateName(st cache.State) string {
 
 // emit stamps and delivers one event; callers guard with s.probe != nil.
 func (s *System) emit(e obs.Event) {
-	e.Step = s.n.Accesses - 1
+	e.Step = s.step
 	e.Variant = s.cfg.Policy.Name
 	e.Access = s.cur
 	s.probe.OnEvent(e)
@@ -403,6 +438,7 @@ func (s *System) runBatch(batch []trace.Access, base int) error {
 		s.n.Accesses++
 		if s.probe != nil {
 			s.cur = a
+			s.step = s.n.Accesses - 1
 		}
 		b := s.cfg.Geometry.Block(a.Addr)
 		line := s.caches[a.Node].Lookup(b)
@@ -426,6 +462,7 @@ func (s *System) Access(a trace.Access) error {
 	s.n.Accesses++
 	if s.probe != nil {
 		s.cur = a
+		s.step = s.n.Accesses - 1
 	}
 	b := s.cfg.Geometry.Block(a.Addr)
 	line := s.caches[a.Node].Lookup(b)

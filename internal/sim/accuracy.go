@@ -90,10 +90,10 @@ func ClassifierAccuracyApp(prepared *App, opts Options, cacheBytes int) ([]Accur
 	out := make([]Accuracy, len(adaptive))
 	err = runIndexed(opts.ctx(), len(adaptive), opts.workers(), func(i int) error {
 		pol := adaptive[i]
-		sys, err := directory.New(directory.Config{
+		sys, err := newDirectoryRunner(directory.Config{
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
 			Policy: pol, Placement: pl,
-		})
+		}, effectiveShards(opts, cacheBytes, 16), nil)
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,9 @@ type ExecRow struct {
 // basic) on the ExecApps, with round-robin placement and DASH-like
 // latencies. cacheBytes of 0 uses 64 KB per node.
 func ExecutionTime(opts Options, policy core.Policy, cacheBytes int) ([]ExecRow, error) {
+	if err := rejectShards(opts); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	apps, err := prepareApps(opts)
 	if err != nil {
@@ -48,9 +51,24 @@ func ExecutionTime(opts Options, policy core.Policy, cacheBytes int) ([]ExecRow,
 	return ExecutionTimeApps(apps, opts, policy, cacheBytes)
 }
 
+// rejectShards refuses set sharding for the timing model: the simulated
+// bus serializes every transaction globally, so a timed run cannot be
+// partitioned by set index. The check looks at the raw option — even
+// -shards -1 (auto) is rejected rather than resolved, so the error does
+// not depend on the machine's core count.
+func rejectShards(opts Options) error {
+	if opts.Shards != 0 && opts.Shards != 1 {
+		return fmt.Errorf("sim: execution-driven timing cannot shard (Shards=%d): the bus serializes transactions globally", opts.Shards)
+	}
+	return nil
+}
+
 // ExecutionTimeApps is ExecutionTime over caller-prepared apps (external
 // traces wrapped with NewApp or NewSourceApp).
 func ExecutionTimeApps(apps []*App, opts Options, policy core.Policy, cacheBytes int) ([]ExecRow, error) {
+	if err := rejectShards(opts); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if cacheBytes == 0 {
 		cacheBytes = 64 << 10

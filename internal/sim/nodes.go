@@ -66,9 +66,9 @@ func NodeCountSweep(app string, nodeCounts []int, opts Options) ([]NodeCountRow,
 	err = runIndexed(opts.ctx(), len(msgs), workers, func(i int) error {
 		ni, pi := i/len(pols), i%len(pols)
 		n := nodeCounts[ni]
-		sys, err := directory.New(directory.Config{
+		sys, err := newDirectoryRunner(directory.Config{
 			Nodes: n, Geometry: geom, Policy: pols[pi], Placement: preps[ni].Placement,
-		})
+		}, effectiveShards(opts, 0, 16), nil)
 		if err != nil {
 			return err
 		}

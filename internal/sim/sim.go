@@ -56,6 +56,17 @@ type Options struct {
 	// read-only trace, so results are deterministic — bit-identical to a
 	// sequential run — regardless of the setting or the scheduling.
 	Parallelism int
+	// Shards splits each *individual* untimed directory/bus run across
+	// engine shards by cache-set index (accesses to different sets never
+	// interact, so counters, metrics, and classifier verdicts stay
+	// bit-identical to a sequential run). 0 and 1 run sequentially; -1
+	// resolves to the largest power of two not above runtime.GOMAXPROCS(0);
+	// other values round down to a power of two, and finite caches
+	// additionally cap the count at the per-cache set count. The timing
+	// model rejects Shards > 1: its bus serializes transactions globally,
+	// so its runs cannot be partitioned. Parallelism composes with Shards
+	// multiplicatively — shards × workers goroutines can be live at once.
+	Shards int
 	// Probes, when non-nil, is called once per simulation cell to build the
 	// probe that cell's System is instrumented with (a nil return leaves the
 	// cell unprobed). Cells run concurrently on worker goroutines under
@@ -199,6 +210,9 @@ type Cell struct {
 	Msgs       cost.Msgs
 	Counters   directory.Counters
 	// Probe is the probe Options.Probes built for this cell (nil if none).
+	// Under Options.Shards > 1 the factory runs once per shard and Probe is
+	// the shard probes merged in shard order when they are all
+	// *obs.MetricsProbe (nil when they cannot be merged).
 	Probe obs.Probe
 }
 
@@ -214,18 +228,15 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 	if err != nil {
 		return Cell{}, err
 	}
-	var probe obs.Probe
-	if opts.Probes != nil {
-		probe = opts.Probes(app.Name, policy.Name, cacheBytes, blockSize)
-	}
-	sys, err := directory.New(directory.Config{
+	shards := effectiveShards(opts, cacheBytes, blockSize)
+	probes, built := shardProbes(opts, app.Name, policy.Name, cacheBytes, blockSize, shards)
+	sys, err := newDirectoryRunner(directory.Config{
 		Nodes:      opts.Nodes,
 		Geometry:   geom,
 		CacheBytes: cacheBytes,
 		Policy:     policy,
 		Placement:  app.Placement,
-		Probe:      probe,
-	})
+	}, shards, probes)
 	if err != nil {
 		return Cell{}, err
 	}
@@ -244,7 +255,7 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 		BlockSize:  blockSize,
 		Msgs:       sys.Messages(),
 		Counters:   sys.Counters(),
-		Probe:      probe,
+		Probe:      mergeShardProbes(built),
 	}, nil
 }
 
@@ -476,17 +487,14 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 		app := apps[i/(nCaches*nProts)]
 		cb := cacheSizes[(i/nProts)%nCaches]
 		p := protocols[i%nProts]
-		var probe obs.Probe
-		if opts.Probes != nil {
-			probe = opts.Probes(app.Name, p.String(), cb, 16)
-		}
-		sys, err := snoop.New(snoop.Config{
+		shards := effectiveShards(opts, cb, 16)
+		probes, built := shardProbes(opts, app.Name, p.String(), cb, 16, shards)
+		sys, err := snoop.NewSharded(snoop.Config{
 			Nodes:      opts.Nodes,
 			Geometry:   geom,
 			CacheBytes: cb,
 			Protocol:   p,
-			Probe:      probe,
-		})
+		}, shards, probes)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
@@ -501,7 +509,7 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 			}
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
-		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts(), Probe: probe}
+		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts(), Probe: mergeShardProbes(built)}
 		return nil
 	})
 	if err != nil {

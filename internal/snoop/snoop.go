@@ -182,6 +182,11 @@ type Config struct {
 	// events with Short=1. nil (the default) costs nothing beyond a branch
 	// at each emission site.
 	Probe obs.Probe
+
+	// shards/shardIndex mark this System as one slice of a set-sharded
+	// run (see NewSharded); zero for a whole-machine System.
+	shards     int
+	shardIndex int
 }
 
 func (c Config) withDefaults() Config {
@@ -209,7 +214,10 @@ func (c Config) Validate() error {
 	if !c.Protocol.Adaptive() && c.Hysteresis != 1 {
 		return fmt.Errorf("snoop: hysteresis only applies to adaptive protocols")
 	}
-	cc := cache.Config{SizeBytes: c.CacheBytes, BlockSize: c.Geometry.BlockSize(), Assoc: c.Assoc}
+	cc := cache.Config{
+		SizeBytes: c.CacheBytes, BlockSize: c.Geometry.BlockSize(), Assoc: c.Assoc,
+		Shards: c.shards, ShardIndex: c.shardIndex,
+	}
 	return cc.Validate()
 }
 
@@ -233,17 +241,20 @@ type System struct {
 	readHits, writeHits uint64
 	migrations          uint64 // read misses served by an MD migration
 
-	// probe mirrors cfg.Probe; accesses stamps events with a step index and
-	// cur holds the access being serviced (cur maintained only when probe is
-	// non-nil).
+	// probe mirrors cfg.Probe; cur is the access being serviced and step
+	// its index in the global trace interleaving (both maintained only when
+	// probe is non-nil). Sequentially step is just accesses-1; in a
+	// set-sharded run it comes from the demux stage, so events carry the
+	// same step a sequential run would stamp.
 	probe    obs.Probe
 	accesses uint64
 	cur      trace.Access
+	step     uint64
 }
 
 // emit stamps and delivers one event; callers guard with s.probe != nil.
 func (s *System) emit(e obs.Event) {
-	e.Step = s.accesses - 1
+	e.Step = s.step
 	e.Variant = s.cfg.Protocol.String()
 	e.Access = s.cur
 	s.probe.OnEvent(e)
@@ -274,9 +285,11 @@ func New(cfg Config) (*System, error) {
 	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes), probe: cfg.Probe, tbl: buildSnoopTables(cfg.Protocol)}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
-			SizeBytes: cfg.CacheBytes,
-			BlockSize: cfg.Geometry.BlockSize(),
-			Assoc:     cfg.Assoc,
+			SizeBytes:  cfg.CacheBytes,
+			BlockSize:  cfg.Geometry.BlockSize(),
+			Assoc:      cfg.Assoc,
+			Shards:     cfg.shards,
+			ShardIndex: cfg.shardIndex,
 		})
 	}
 	if cfg.CheckCoherence {
@@ -400,12 +413,20 @@ func (s *System) runBatch(batch []trace.Access, base int) error {
 
 // Access applies one processor reference.
 func (s *System) Access(a trace.Access) error {
+	return s.accessAt(a, s.accesses)
+}
+
+// accessAt applies one processor reference, stamping any emitted events
+// with the given global step index. Access passes the local access count;
+// the sharded driver passes the demuxed global trace index.
+func (s *System) accessAt(a trace.Access, step uint64) error {
 	if int(a.Node) >= s.cfg.Nodes {
 		return fmt.Errorf("snoop: node %d out of range (%d nodes)", a.Node, s.cfg.Nodes)
 	}
 	s.accesses++
 	if s.probe != nil {
 		s.cur = a
+		s.step = step
 	}
 	b := s.cfg.Geometry.Block(a.Addr)
 	line := s.caches[a.Node].Lookup(b)

@@ -1,0 +1,163 @@
+package trace
+
+import "io"
+
+// fetchResult is one decoded window handed from the prefetch goroutine to
+// the consumer. err, when non-nil, is terminal for the stream (io.EOF or a
+// decode failure) and always travels with the final window.
+type fetchResult struct {
+	buf []Access
+	n   int
+	err error
+}
+
+// PrefetchSource wraps a Source with a decode goroutine that keeps one
+// batch in flight ahead of the consumer: while the simulator chews on the
+// current window, the goroutine is already running the underlying source's
+// NextBatch (for an .mtr FileSource, the file IO and varint decode) for the
+// next one. The channel holds one window and the consumer holds another, so
+// the pipeline is double-buffered; buffers come from the shared batch pool.
+//
+// PrefetchSource is a Source itself and is driven by one consumer at a
+// time, like every other Source. Reset and Close first quiesce the decode
+// goroutine, so the underlying source is never touched concurrently.
+type PrefetchSource struct {
+	src  Source
+	ch   chan fetchResult
+	stop chan struct{}
+	cur  []Access
+	pos  int
+	err  error // terminal stream error, delivered once cur drains
+}
+
+// NewPrefetchSource returns src wrapped with a prefetching decode stage.
+// The wrapper owns src: closing the wrapper closes src.
+func NewPrefetchSource(src Source) *PrefetchSource {
+	p := &PrefetchSource{src: src}
+	p.start()
+	return p
+}
+
+func (p *PrefetchSource) start() {
+	p.ch = make(chan fetchResult, 1)
+	p.stop = make(chan struct{})
+	p.cur = nil
+	p.pos = 0
+	p.err = nil
+	go fill(p.src, p.ch, p.stop)
+}
+
+// fill decodes ahead until the stream ends or the consumer halts it. It
+// always closes ch on the way out, and after a halt never touches src
+// again — that is what lets Reset/Close safely reuse the source.
+func fill(src Source, ch chan fetchResult, stop chan struct{}) {
+	defer close(ch)
+	for {
+		buf := GetBatch()
+		n, err := FillBatch(src, buf)
+		select {
+		case ch <- fetchResult{buf: buf, n: n, err: err}:
+		case <-stop:
+			PutBatch(buf)
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// advance recycles the drained window and installs the next one. It
+// returns a non-nil error only when no further accesses exist.
+func (p *PrefetchSource) advance() error {
+	if p.cur != nil {
+		PutBatch(p.cur)
+		p.cur = nil
+		p.pos = 0
+	}
+	for {
+		if p.err != nil {
+			return p.err
+		}
+		r, ok := <-p.ch
+		if !ok {
+			// The goroutine only exits after sending a terminal error, so
+			// a bare close means it was halted; report end of stream.
+			p.err = io.EOF
+			return p.err
+		}
+		p.err = r.err
+		if r.n > 0 {
+			p.cur = r.buf[:r.n]
+			p.pos = 0
+			return nil
+		}
+		PutBatch(r.buf)
+	}
+}
+
+// Next implements Source.
+func (p *PrefetchSource) Next() (Access, error) {
+	if p.pos >= len(p.cur) {
+		if err := p.advance(); err != nil {
+			return Access{}, err
+		}
+	}
+	a := p.cur[p.pos]
+	p.pos++
+	return a, nil
+}
+
+// NextBatch implements BatchReader with the usual contract: n > 0 may
+// arrive together with the terminal error when the stream ends mid-batch.
+func (p *PrefetchSource) NextBatch(buf []Access) (int, error) {
+	if p.pos >= len(p.cur) {
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(buf, p.cur[p.pos:])
+	p.pos += n
+	if p.pos >= len(p.cur) && p.err != nil {
+		return n, p.err
+	}
+	return n, nil
+}
+
+// halt quiesces the decode goroutine and recycles every in-flight buffer.
+// After halt returns the goroutine has exited and the underlying source is
+// exclusively ours again.
+func (p *PrefetchSource) halt() {
+	if p.stop == nil {
+		return
+	}
+	close(p.stop)
+	p.stop = nil
+	for r := range p.ch {
+		PutBatch(r.buf)
+	}
+	if p.cur != nil {
+		PutBatch(p.cur)
+		p.cur = nil
+	}
+	p.pos = 0
+}
+
+// Reset implements Source: it stops the prefetcher, rewinds the underlying
+// source, and starts decoding ahead again.
+func (p *PrefetchSource) Reset() error {
+	p.halt()
+	if err := p.src.Reset(); err != nil {
+		p.err = err
+		return err
+	}
+	p.start()
+	return nil
+}
+
+// Close implements Source and closes the wrapped source.
+func (p *PrefetchSource) Close() error {
+	p.halt()
+	p.err = io.EOF
+	return p.src.Close()
+}

@@ -116,13 +116,14 @@ func GetBatch() []Access {
 	return *batchPool.Get().(*[]Access)
 }
 
-// PutBatch returns a buffer obtained from GetBatch to the pool. Buffers of
-// other capacities are dropped.
+// PutBatch returns a buffer obtained from GetBatch to the pool. Undersized
+// buffers are dropped; caller-grown buffers are clamped back to
+// DefaultBatchSize capacity so every pooled buffer stays uniform.
 func PutBatch(buf []Access) {
-	if cap(buf) != DefaultBatchSize {
+	if cap(buf) < DefaultBatchSize {
 		return
 	}
-	buf = buf[:DefaultBatchSize]
+	buf = buf[:DefaultBatchSize:DefaultBatchSize]
 	batchPool.Put(&buf)
 }
 
