@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-check fuzz ci inspect-demo profile
+.PHONY: build test race vet vuln bench bench-check fuzz ci inspect-demo profile
 
 # Seconds of fuzzing per target in `make fuzz` (kept short for CI).
 FUZZTIME ?= 10s
@@ -27,8 +27,18 @@ bench:
 # (results/bench_baseline.json), failing on regression beyond tolerance.
 # The benchmarks refresh the sweep file as a side effect of running.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead|BenchmarkShardedTable2|BenchmarkPrefetchMTR' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead|BenchmarkShardedTable2|BenchmarkPrefetchMTR|BenchmarkTelemetryOverhead' -benchtime 10x -benchmem .
 	$(GO) run ./cmd/benchcheck
+
+# Known-vulnerability scan of the module and its (stdlib-only) dependency
+# graph. Uses govulncheck when it is already on PATH — the target does not
+# install anything; CI installs the tool in its own step.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 # Short fuzz pass over every fuzz target; go test allows one -fuzz pattern
 # per invocation, so each target gets its own run.

@@ -3,6 +3,8 @@ package migratory
 import (
 	"context"
 	"io"
+	"os"
+	"time"
 
 	"migratory/internal/core"
 	"migratory/internal/cost"
@@ -12,6 +14,7 @@ import (
 	"migratory/internal/placement"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
+	"migratory/internal/telemetry"
 	"migratory/internal/timing"
 	"migratory/internal/trace"
 	"migratory/internal/workload"
@@ -530,6 +533,56 @@ func AnalyzeTraceSource(src TraceReader, geom Geometry) (TraceStats, error) {
 // ClassifyBlocksSource is ClassifyBlocks over a streamed trace.
 func ClassifyBlocksSource(src TraceReader, geom Geometry) (map[BlockID]BlockPattern, error) {
 	return trace.ClassifyBlocksSource(src, geom)
+}
+
+// Runtime telemetry (internal/telemetry): live run counters, periodic
+// sampling, the opt-in metrics/pprof HTTP server, and per-run manifests.
+type (
+	// RunStats is the shared atomic counter block a running simulation
+	// publishes. Hand one to ExperimentOptions.Stats (or
+	// DirectoryConfig.Stats / BusConfig.Stats) and read it concurrently
+	// from a TelemetrySampler.
+	RunStats = telemetry.RunStats
+	// TelemetrySample is one observation of a running simulation:
+	// counters, derived throughput, sweep ETA, and Go runtime state.
+	TelemetrySample = telemetry.Sample
+	// TelemetrySampler periodically snapshots a RunStats into samples.
+	TelemetrySampler = telemetry.Sampler
+	// TelemetryServer is the opt-in HTTP endpoint serving /metrics
+	// (Prometheus text), /status (JSON), /healthz, /debug/vars, and
+	// /debug/pprof for a running simulation.
+	TelemetryServer = telemetry.Server
+	// RunManifest records the exact conditions and outcome of one run,
+	// written atomically alongside the results it produced.
+	RunManifest = telemetry.Manifest
+)
+
+// NewTelemetrySampler builds a sampler over stats; interval <= 0 uses the
+// default cadence (2s).
+func NewTelemetrySampler(stats *RunStats, interval time.Duration) *TelemetrySampler {
+	return telemetry.NewSampler(stats, interval)
+}
+
+// StartTelemetryServer serves the telemetry endpoints on addr (":0" picks
+// a free port; see TelemetryServer.Addr) until Close. manifest may be nil.
+func StartTelemetryServer(addr, tool string, sampler *TelemetrySampler, manifest *RunManifest) (*TelemetryServer, error) {
+	return telemetry.StartServer(addr, tool, sampler, manifest)
+}
+
+// NewRunManifest starts a manifest for the named tool, capturing the
+// command line, build version, and machine facts.
+func NewRunManifest(tool string) RunManifest { return telemetry.NewManifest(tool) }
+
+// WriteRunManifest persists a manifest atomically under dir and returns
+// the file path.
+func WriteRunManifest(dir string, m RunManifest) (string, error) {
+	return telemetry.WriteManifest(dir, m)
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file and
+// rename, so readers never observe a torn file.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return telemetry.WriteFileAtomic(path, data, perm)
 }
 
 // Sentinel errors, matchable with errors.Is through every wrapping layer

@@ -27,6 +27,7 @@ import (
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
 	"migratory/internal/stats"
+	"migratory/internal/telemetry"
 	"migratory/internal/timing"
 	"migratory/internal/trace"
 	"migratory/internal/workload"
@@ -1318,6 +1319,86 @@ func BenchmarkPrefetchMTR(b *testing.B) {
 		measured["speedup"] = speedup
 		b.ReportMetric(speedup, "speedup-prefetch")
 		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkPrefetchMTR", measured); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead prices the runtime telemetry layer: the basic
+// policy over an in-memory MP3D trace with Config.Stats nil ("off" — must
+// stay within noise of the uninstrumented hot path, since disabled
+// telemetry is one pointer test per 4096-access batch) versus a shared
+// RunStats block with a live 50ms Sampler attached ("on"). Counters are
+// asserted bit-identical across modes, and the on/off ratio is the
+// regression guard: telemetry is only near-zero-cost while that ratio
+// stays near 1.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	accs := benchTrace(b, "MP3D")
+	run := func(b *testing.B, rs *telemetry.RunStats) (cost.Msgs, directory.Counters) {
+		b.Helper()
+		sys, err := directory.New(directory.Config{
+			Nodes: 16, Geometry: benchGeom, CacheBytes: 64 << 10,
+			Policy: core.Basic, Placement: placement.NewRoundRobin(16),
+			Stats: rs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Run(accs); err != nil {
+			b.Fatal(err)
+		}
+		return sys.Messages(), sys.Counters()
+	}
+
+	var rs telemetry.RunStats
+	sampler := telemetry.NewSampler(&rs, 50*time.Millisecond)
+	sampler.Start()
+	defer sampler.Stop()
+
+	modes := []struct {
+		name  string
+		stats *telemetry.RunStats
+	}{
+		{"off", nil},
+		{"on", &rs},
+	}
+	msgs := make([]cost.Msgs, len(modes))
+	counters := make([]directory.Counters, len(modes))
+	elapsed := make([]time.Duration, len(modes))
+	mallocs := make([]uint64, len(modes))
+	allocBytes := make([]uint64, len(modes))
+	b.Run("paired", func(b *testing.B) {
+		// The framework may re-enter with a larger b.N; count only this pass.
+		accBase := rs.Accesses.Load()
+		var before, after runtime.MemStats
+		for i := 0; i < b.N; i++ {
+			for mi, m := range modes {
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				msgs[mi], counters[mi] = run(b, m.stats)
+				elapsed[mi] += time.Since(start)
+				runtime.ReadMemStats(&after)
+				mallocs[mi] += after.Mallocs - before.Mallocs
+				allocBytes[mi] += after.TotalAlloc - before.TotalAlloc
+			}
+		}
+		if msgs[0] != msgs[1] || counters[0] != counters[1] {
+			b.Fatalf("instrumented run diverged: %+v/%+v vs %+v/%+v",
+				msgs[1], counters[1], msgs[0], counters[0])
+		}
+		if got, want := rs.Accesses.Load()-accBase, uint64(b.N)*uint64(len(accs)); got != want {
+			b.Fatalf("RunStats saw %d accesses this pass, want %d", got, want)
+		}
+		measured := map[string]float64{"gomaxprocs": float64(runtime.GOMAXPROCS(0))}
+		for mi, m := range modes {
+			measured[m.name+"_ns_per_op"] = float64(elapsed[mi].Nanoseconds()) / float64(b.N)
+			measured[m.name+"_bytes_per_op"] = float64(allocBytes[mi]) / float64(b.N)
+			measured[m.name+"_allocs_per_op"] = float64(mallocs[mi]) / float64(b.N)
+		}
+		ratio := measured["on_ns_per_op"] / measured["off_ns_per_op"]
+		measured["overhead_ratio"] = ratio
+		b.ReportMetric(ratio, "on/off-ratio")
+		if err := stats.UpdateBenchJSON("results/bench_sweep.json", "BenchmarkTelemetryOverhead", measured); err != nil {
 			b.Fatal(err)
 		}
 	})

@@ -22,16 +22,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
+	"migratory/internal/cliutil"
 	"migratory/internal/stats"
 )
 
 // defaultChecks are the key rows of results/bench_sweep.json: the batched
-// hot-loop speedups and allocation footprints from this PR, plus the
-// probe-overhead allocation guard from the observability work.
+// hot-loop speedups and allocation footprints, the probe-overhead
+// allocation guard, and the telemetry-disabled overhead guard (the
+// off-mode hot path must stay within noise of the uninstrumented
+// baseline, and the on/off ratio must stay near 1).
 const defaultChecks = "BenchmarkBatchedTable2:speedup," +
 	"BenchmarkBatchedTable2:batched_ns_per_op:0.60," +
 	"BenchmarkBatchedTable2:batched_allocs_per_op," +
@@ -42,11 +44,13 @@ const defaultChecks = "BenchmarkBatchedTable2:speedup," +
 	"BenchmarkShardedTable2:speedup:0.60," +
 	"BenchmarkShardedTable2:sequential_ns_per_op:0.60," +
 	"BenchmarkShardedTable2:sharded8_ns_per_op:0.60," +
-	"BenchmarkPrefetchMTR:prefetch_ns_per_op:0.60"
+	"BenchmarkPrefetchMTR:prefetch_ns_per_op:0.60," +
+	"BenchmarkTelemetryOverhead:off_ns_per_op:0.60," +
+	"BenchmarkTelemetryOverhead:off_allocs_per_op," +
+	"BenchmarkTelemetryOverhead:overhead_ratio:0.35"
 
 func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
-	os.Exit(1)
+	cliutil.Fatal("benchcheck", format, args...)
 }
 
 func load(path string) map[string]map[string]float64 {
@@ -67,8 +71,10 @@ func main() {
 		currentPath  = flag.String("current", "results/bench_sweep.json", "freshly measured rows (from `make bench`)")
 		tolerance    = flag.Float64("tolerance", 0.20, "default allowed fractional drift per metric")
 		checks       = flag.String("checks", defaultChecks, "comma-separated benchmark:metric[:tolerance] checks")
+		tele         = cliutil.RegisterTelemetry("benchcheck")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 
 	baseline := load(*baselinePath)
 	current := load(*currentPath)

@@ -27,11 +27,13 @@ func main() {
 	var (
 		common   = cliutil.Register("bussim")
 		prof     = cliutil.RegisterProfile("bussim")
+		tele     = cliutil.RegisterTelemetry("bussim")
 		caches   = flag.String("caches", "", "comma-separated per-node cache bytes (default: 65536,1048576)")
 		symmetry = flag.Bool("symmetry", false, "include the non-adaptive Symmetry migrate-on-read baseline")
 		format   = flag.String("format", "table", "output format: table, csv, or json")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 	common.Validate()
 	defer prof.Start()()
 
@@ -48,20 +50,25 @@ func main() {
 		protocols = append(protocols, snoop.Symmetry)
 	}
 
+	run := tele.Start(opts, *common.Trace, map[string]any{"caches": *caches, "symmetry": *symmetry})
+	defer run.Close(nil)
+	opts.Stats = run.Stats()
+
 	var sw *sim.BusSweep
 	if prepared, err := common.TraceApps(); err != nil {
-		cliutil.Fatal("bussim", "%v", err)
+		cliutil.FatalRun(run, "bussim", "%v", err)
 	} else if prepared != nil {
 		sw, err = sim.RunBusApps(prepared, opts, cacheSizes, protocols)
 		if err != nil {
-			cliutil.Fatal("bussim", "%v", err)
+			cliutil.FatalRun(run, "bussim", "%v", err)
 		}
 	} else {
 		sw, err = sim.RunBus(opts, cacheSizes, protocols)
 		if err != nil {
-			cliutil.Fatal("bussim", "%v", err)
+			cliutil.FatalRun(run, "bussim", "%v", err)
 		}
 	}
+	run.Close(nil)
 
 	switch *format {
 	case "csv":

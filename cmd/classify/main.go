@@ -32,9 +32,11 @@ func main() {
 	var (
 		common = cliutil.Register("classify")
 		prof   = cliutil.RegisterProfile("classify")
+		tele   = cliutil.RegisterTelemetry("classify")
 		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = infinite)")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 	common.Validate()
 	defer prof.Start()()
 
@@ -47,19 +49,23 @@ func main() {
 		}
 	}
 
+	run := tele.Start(opts, *common.Trace, map[string]any{"cache": *cache})
+	defer run.Close(nil)
+	opts.Stats = run.Stats()
+
 	// One prepared app per input: the -trace file, or each built-in profile.
 	// The same apps drive both the accuracy scoring and the histogram, so a
 	// trace is generated (or a file profiled) once per app.
 	var apps []*sim.App
 	if traced, err := common.TraceApps(); err != nil {
-		cliutil.Fatal("classify", "%v", err)
+		cliutil.FatalRun(run, "classify", "%v", err)
 	} else if traced != nil {
 		apps = traced
 	} else {
 		for _, name := range opts.Apps {
 			app, err := sim.PrepareApp(name, opts)
 			if err != nil {
-				cliutil.Fatal("classify", "%v", err)
+				cliutil.FatalRun(run, "classify", "%v", err)
 			}
 			apps = append(apps, app)
 		}
@@ -71,7 +77,7 @@ func main() {
 	for _, app := range apps {
 		rows, err := sim.ClassifierAccuracyApp(app, opts, *cache)
 		if err != nil {
-			cliutil.Fatal("classify", "%v", err)
+			cliutil.FatalRun(run, "classify", "%v", err)
 		}
 		all = append(all, rows...)
 	}
@@ -91,18 +97,19 @@ func main() {
 			Nodes: opts.Nodes, Geometry: geom, CacheBytes: *cache,
 			Policy:    core.Conventional,
 			Placement: app.Placement,
+			Stats:     run.Stats(),
 		}, shards, nil)
 		if err != nil {
-			cliutil.Fatal("classify", "%v", err)
+			cliutil.FatalRun(run, "classify", "%v", err)
 		}
 		src, err := app.Open()
 		if err != nil {
-			cliutil.Fatal("classify", "%v", err)
+			cliutil.FatalRun(run, "classify", "%v", err)
 		}
 		err = sys.RunSource(ctx, src)
 		src.Close()
 		if err != nil {
-			cliutil.Fatal("classify", "%v", err)
+			cliutil.FatalRun(run, "classify", "%v", err)
 		}
 		hist := sys.InvalidationHistogram()
 		sizes := make([]int, 0, len(hist))

@@ -25,10 +25,12 @@ func main() {
 	var (
 		common = cliutil.Register("exectime")
 		prof   = cliutil.RegisterProfile("exectime")
+		tele   = cliutil.RegisterTelemetry("exectime")
 		policy = flag.String("policy", "basic", "adaptive policy to compare against conventional")
 		cache  = flag.Int("cache", 0, "per-node cache bytes (0 = 64 KB)")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 	common.Validate()
 	defer prof.Start()()
 
@@ -40,20 +42,25 @@ func main() {
 		opts.Apps = sim.ExecApps
 	}
 
+	run := tele.Start(opts, *common.Trace, map[string]any{"policy": *policy, "cache": *cache})
+	defer run.Close(nil)
+	opts.Stats = run.Stats()
+
 	var rows []sim.ExecRow
 	if prepared, err := common.TraceApps(); err != nil {
-		cliutil.Fatal("exectime", "%v", err)
+		cliutil.FatalRun(run, "exectime", "%v", err)
 	} else if prepared != nil {
 		rows, err = sim.ExecutionTimeApps(prepared, opts, pol, *cache)
 		if err != nil {
-			cliutil.Fatal("exectime", "%v", err)
+			cliutil.FatalRun(run, "exectime", "%v", err)
 		}
 	} else {
 		rows, err = sim.ExecutionTime(opts, pol, *cache)
 		if err != nil {
-			cliutil.Fatal("exectime", "%v", err)
+			cliutil.FatalRun(run, "exectime", "%v", err)
 		}
 	}
+	run.Close(nil)
 	fmt.Println("Execution-driven simulation (§4.2): DASH-like latencies, round-robin placement")
 	fmt.Println()
 	if err := sim.RenderExec(rows, pol).Render(os.Stdout); err != nil {

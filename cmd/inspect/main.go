@@ -33,12 +33,17 @@ import (
 	"migratory/internal/placement"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
+	"migratory/internal/telemetry"
 	"migratory/internal/trace"
 	"migratory/internal/workload"
 )
 
+// teleRun is the command's telemetry session; fatal funnels failures
+// through it so even a failed replay leaves a manifest.
+var teleRun *telemetry.Run
+
 func fatal(format string, args ...any) {
-	cliutil.Fatal("inspect", format, args...)
+	cliutil.FatalRun(teleRun, "inspect", format, args...)
 }
 
 func main() {
@@ -66,8 +71,10 @@ func main() {
 		listKinds = flag.Bool("list-kinds", false, "list the event kinds and exit")
 
 		prof = cliutil.RegisterProfile("inspect")
+		tele = cliutil.RegisterTelemetry("inspect")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 	defer prof.Start()()
 
 	if *listKinds {
@@ -98,6 +105,10 @@ func main() {
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
+
+	teleRun = tele.Start(sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Shards: *shards},
+		*traceIn, map[string]any{"app": *app, "engine": *engine, "variant": *variant, "cache_kb": *cacheKB, "block": *blockSize})
+	defer teleRun.Close(nil)
 
 	src := openSource(*app, *traceIn, *nodes, *seed, *length)
 	defer src.Close()
@@ -178,6 +189,7 @@ func main() {
 			fatal("%v", err)
 		}
 	}
+	teleRun.Close(nil)
 }
 
 // openSource builds the access stream from -trace or -app without
@@ -235,10 +247,13 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 	per := make([]*obs.MetricsProbe, shards)
 	probeAt := func(i int) obs.Probe {
 		per[i] = &obs.MetricsProbe{}
+		var inner obs.Probe = per[i]
 		if i == 0 && extra != nil {
-			return obs.MultiProbe{per[i], extra}
+			inner = obs.MultiProbe{per[i], extra}
 		}
-		return per[i]
+		// Forward event volume to the live telemetry counters, so the
+		// /metrics endpoint shows the replay's event rate.
+		return &obs.StatsProbe{Stats: teleRun.Stats(), Inner: inner}
 	}
 	switch engine {
 	case "directory":
@@ -259,6 +274,7 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 			CacheBytes: cacheBytes,
 			Policy:     pol,
 			Placement:  pl,
+			Stats:      teleRun.Stats(),
 		}, shards, probeAt)
 		if err != nil {
 			fatal("%v", err)
@@ -279,6 +295,7 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 			Geometry:   geom,
 			CacheBytes: cacheBytes,
 			Protocol:   prot,
+			Stats:      teleRun.Stats(),
 		}, shards, probeAt)
 		if err != nil {
 			fatal("%v", err)

@@ -27,11 +27,13 @@ func main() {
 	var (
 		common = cliutil.Register("migsim")
 		prof   = cliutil.RegisterProfile("migsim")
+		tele   = cliutil.RegisterTelemetry("migsim")
 		table  = flag.Int("table", 2, "paper table to regenerate: 2 (cache sizes) or 3 (block sizes)")
 		ratios = flag.Bool("ratios", false, "also print the cost-ratio analysis (§4.1)")
 		format = flag.String("format", "table", "output format: table, csv, or json")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 	common.Validate()
 	defer prof.Start()()
 
@@ -43,6 +45,10 @@ func main() {
 	if err != nil {
 		cliutil.Fatal("migsim", "%v", err)
 	}
+
+	run := tele.Start(opts, *common.Trace, map[string]any{"table": *table})
+	defer run.Close(nil)
+	opts.Stats = run.Stats()
 
 	var sw *sim.Sweep
 	switch {
@@ -58,8 +64,9 @@ func main() {
 		cliutil.Usagef("migsim", "unknown table %d (want 2 or 3)", *table)
 	}
 	if err != nil {
-		cliutil.Fatal("migsim", "%v", err)
+		cliutil.FatalRun(run, "migsim", "%v", err)
 	}
+	run.Close(nil)
 
 	switch *format {
 	case "csv":

@@ -20,9 +20,15 @@ import (
 	"migratory/internal/cliutil"
 	"migratory/internal/memory"
 	"migratory/internal/placement"
+	"migratory/internal/sim"
+	"migratory/internal/telemetry"
 	"migratory/internal/trace"
 	"migratory/internal/workload"
 )
+
+// run is the command's telemetry session; fatal funnels failures through
+// it so even a failed generation leaves a manifest.
+var run *telemetry.Run
 
 func main() {
 	var (
@@ -37,8 +43,10 @@ func main() {
 		list      = flag.Bool("list", false, "list available application profiles")
 
 		prof = cliutil.RegisterProfile("tracegen")
+		tele = cliutil.RegisterTelemetry("tracegen")
 	)
 	flag.Parse()
+	tele.SetupLogging()
 	defer prof.Start()()
 
 	if *list {
@@ -55,6 +63,10 @@ func main() {
 		}
 		return
 	}
+
+	run = tele.Start(sim.Options{Nodes: *nodes, Seed: *seed, Length: *length}, *in,
+		map[string]any{"app": *app, "out": *out, "block": *blockSize})
+	defer run.Close(nil)
 
 	geom, err := memory.NewGeometry(*blockSize, 4096)
 	if err != nil {
@@ -101,6 +113,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	run.Close(nil)
 }
 
 // export streams the source into an .mtr file and returns the access count.
@@ -164,7 +177,8 @@ func report(src trace.Source, geom memory.Geometry, nodes int) error {
 	return nil
 }
 
+// fatal exits through the shared cliutil funnel: one structured error
+// line, a sealed manifest, status 1.
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-	os.Exit(1)
+	cliutil.FatalRun(run, "tracegen", "%v", err)
 }

@@ -68,6 +68,25 @@
 // variant, prints and filters the event stream, reports the hottest
 // blocks, and exports JSONL or Perfetto traces.
 //
+// # Runtime telemetry
+//
+// Orthogonal to the per-event probes, a RunStats counter block gives live,
+// near-zero-cost visibility into a running simulation: engines push
+// accesses, batches, classifier transitions, and migrations at batch
+// granularity (one update per 4096 accesses), the set-sharded demux stage
+// accounts per-shard queue depth and producer stall time, and the sweep
+// drivers track cell progress for ETA estimation. Attach one through
+// ExperimentOptions.Stats, DirectoryConfig.Stats, or BusConfig.Stats —
+// when left nil the hot path pays a single pointer test per batch. A
+// TelemetrySampler turns the counters into periodic TelemetrySample
+// snapshots (instantaneous and cumulative throughput, batch fill, heap and
+// GC state), StartTelemetryServer exposes them over HTTP as Prometheus
+// text (/metrics), JSON (/status), expvar, and pprof, and RunManifest
+// records each run's exact configuration and outcome as an atomically
+// written JSON artifact (WriteRunManifest, WriteFileAtomic). Every CLI in
+// cmd/ wires these behind the shared -telemetry-addr, -log-level,
+// -log-format, -manifest-dir, and -progress flags.
+//
 // # Streaming traces
 //
 // Every consumer of a trace also accepts a TraceSource — a pull-based,

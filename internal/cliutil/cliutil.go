@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -77,8 +78,8 @@ func (f *Flags) Validate() {
 		workers = procs
 	}
 	if shards > procs {
-		fmt.Fprintf(os.Stderr, "%s: warning: -shards %d exceeds GOMAXPROCS (%d); shards will contend for CPUs\n",
-			f.name, shards, procs)
+		slog.Warn("-shards exceeds GOMAXPROCS; shards will contend for CPUs",
+			"tool", f.name, "shards", shards, "gomaxprocs", procs)
 	}
 	if shards > 1 && workers > 1 && shards*workers > procs {
 		capped := procs / shards
@@ -86,8 +87,8 @@ func (f *Flags) Validate() {
 			capped = 1
 		}
 		if capped < workers {
-			fmt.Fprintf(os.Stderr, "%s: warning: -shards %d x -parallelism %d oversubscribes GOMAXPROCS (%d); capping parallelism at %d\n",
-				f.name, shards, workers, procs, capped)
+			slog.Warn("-shards x -parallelism oversubscribes GOMAXPROCS; capping parallelism",
+				"tool", f.name, "shards", shards, "parallelism", workers, "gomaxprocs", procs, "capped", capped)
 			*f.Parallelism = capped
 		}
 	}
@@ -256,10 +257,15 @@ func SignalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-// Fatal prints "name: message" to stderr and exits with status 1, flushing
-// any in-flight profiles first.
+// Fatal is the single funnel every command's runtime failure exits
+// through: it emits one structured slog error line (honouring -log-level
+// and -log-format when RegisterTelemetry set them up), flushes any
+// in-flight profiles, and exits with status 1. Mid-stream trace decode
+// errors, sweep failures, and IO errors all land here, so scripted callers
+// get a machine-parseable last line and a non-zero status instead of a
+// panic or a bare print.
 func Fatal(name, format string, args ...any) {
-	fmt.Fprintf(os.Stderr, name+": "+format+"\n", args...)
+	slog.Error(fmt.Sprintf(format, args...), "tool", name)
 	if profileStop != nil {
 		profileStop()
 	}

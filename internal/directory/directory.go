@@ -25,6 +25,7 @@ import (
 	"migratory/internal/memory"
 	"migratory/internal/obs"
 	"migratory/internal/placement"
+	"migratory/internal/telemetry"
 	"migratory/internal/trace"
 )
 
@@ -90,6 +91,12 @@ type Config struct {
 	// simulation loop; nil (the default) costs nothing beyond a branch at
 	// each emission site.
 	Probe obs.Probe
+	// Stats, when non-nil, receives batch-granularity run telemetry
+	// (internal/telemetry): accesses processed, batches delivered,
+	// classifier transitions, and migrations. The counters are pushed once
+	// per DefaultBatchSize chunk, never per access, so nil costs a single
+	// pointer test per batch.
+	Stats *telemetry.RunStats
 
 	// shards/shardIndex mark this System as one slice of a set-sharded
 	// run: its caches hold only the sets routed to shardIndex. Set by
@@ -231,6 +238,12 @@ type System struct {
 	probe obs.Probe
 	cur   trace.Access
 	step  uint64
+	// stats mirrors cfg.Stats; statTrans/statMig remember the classifier
+	// counter values already pushed to it, so noteBatch adds deltas without
+	// the hot path ever touching an atomic.
+	stats     *telemetry.RunStats
+	statTrans uint64
+	statMig   uint64
 	// invalHist counts ownership-acquiring operations by how many remote
 	// copies they invalidated (the cache-invalidation-pattern analysis of
 	// Weber & Gupta, the paper's reference [23], which motivates the whole
@@ -275,6 +288,7 @@ func New(cfg Config) (*System, error) {
 		caches:    make([]*cache.Cache, cfg.Nodes),
 		invalHist: make([]uint64, cfg.Nodes+1),
 		probe:     cfg.Probe,
+		stats:     cfg.Stats,
 	}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
@@ -451,7 +465,29 @@ func (s *System) runBatch(batch []trace.Access, base int) error {
 			return fmt.Errorf("access %d (%v): %w", base+i, a, err)
 		}
 	}
+	s.noteBatch(len(batch))
 	return nil
+}
+
+// noteBatch pushes one processed batch into the attached telemetry
+// counters: the access count directly, the classifier counters as deltas
+// against what was last pushed (they are plain uint64s on the per-access
+// path; the atomics are touched once per batch).
+func (s *System) noteBatch(n int) {
+	st := s.stats
+	if st == nil {
+		return
+	}
+	st.Accesses.Add(uint64(n))
+	st.Batches.Add(1)
+	if t := s.n.Classifications + s.n.Declassified; t != s.statTrans {
+		st.Transitions.Add(t - s.statTrans)
+		s.statTrans = t
+	}
+	if m := s.n.Migrations; m != s.statMig {
+		st.Migrations.Add(m - s.statMig)
+		s.statMig = m
+	}
 }
 
 // Access applies a single shared-memory reference.

@@ -97,7 +97,7 @@ func (sh *Sharded) RunSource(ctx context.Context, src trace.Source) error {
 	}
 	geom := sh.cfg.Geometry
 	mask := sh.routeMask()
-	return trace.Demux(ctx, src, len(sh.shards), sh.probed,
+	return trace.DemuxStats(ctx, src, len(sh.shards), sh.probed, sh.cfg.Stats,
 		func(a trace.Access) int { return int(uint64(geom.Block(a.Addr)) & mask) },
 		func(i int, b trace.ShardBatch) error { return sh.shards[i].runShardBatch(b) })
 }
@@ -132,6 +132,7 @@ func (s *System) runStamped(batch []trace.Access, steps []uint64) error {
 			return fmt.Errorf("access %d (%v): %w", steps[i], a, err)
 		}
 	}
+	s.noteBatch(len(batch))
 	return nil
 }
 

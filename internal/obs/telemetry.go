@@ -1,0 +1,27 @@
+package obs
+
+import "migratory/internal/telemetry"
+
+// StatsProbe forwards the typed event stream's volume into a telemetry
+// counter block (RunStats.Events), so a probe-instrumented run (e.g.
+// cmd/inspect replaying a trace) shows its event rate on the live /metrics
+// endpoint. It counts only Events — classifier transitions and migrations
+// are owned by the engines' own batch-granularity counters, which a shared
+// RunStats would otherwise double-count. Per-event accounting is
+// acceptable here because attaching any probe already puts the run on the
+// slow path. Wrap an inner probe to stack it with JSONL/metrics sinks.
+type StatsProbe struct {
+	Stats *telemetry.RunStats
+	// Inner, when non-nil, receives every event after accounting.
+	Inner Probe
+}
+
+// OnEvent implements Probe.
+func (p *StatsProbe) OnEvent(e Event) {
+	if p.Stats != nil {
+		p.Stats.Events.Add(1)
+	}
+	if p.Inner != nil {
+		p.Inner.OnEvent(e)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"migratory/internal/placement"
 	"migratory/internal/snoop"
 	"migratory/internal/stats"
+	"migratory/internal/telemetry"
 	"migratory/internal/trace"
 	"migratory/internal/workload"
 )
@@ -79,6 +80,13 @@ type Options struct {
 	// scheduling. variant is the policy or bus-protocol name; blockSize is
 	// 16 for bus cells.
 	Probes func(app, variant string, cacheBytes, blockSize int) obs.Probe
+	// Stats, when non-nil, receives live run telemetry
+	// (internal/telemetry): every cell's engine pushes access/batch/
+	// transition counters at batch granularity, the demux stage accounts
+	// shard queue depth and producer stalls, and the sweep drivers track
+	// cell progress (CellsDone/CellsTotal) for ETA reporting. One RunStats
+	// may be shared across a whole sweep — all fields are atomic sums.
+	Stats *telemetry.RunStats
 }
 
 // ctx resolves Options.Context (nil = context.Background()).
@@ -236,6 +244,7 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 		CacheBytes: cacheBytes,
 		Policy:     policy,
 		Placement:  app.Placement,
+		Stats:      opts.Stats,
 	}, shards, probes)
 	if err != nil {
 		return Cell{}, err
@@ -329,6 +338,9 @@ func directorySweep(opts Options, apps []*App, cacheSizes, blockSizes []int, gro
 	// matter how the cells were scheduled.
 	nGroups, nPols := len(sw.GroupValues), len(opts.Policies)
 	cells := make([]Cell, len(apps)*nGroups*nPols)
+	if opts.Stats != nil {
+		opts.Stats.CellsTotal.Add(uint64(len(cells)))
+	}
 	err := runIndexed(opts.ctx(), len(cells), opts.workers(), func(i int) error {
 		app := apps[i/(nGroups*nPols)]
 		gv := sw.GroupValues[(i/nPols)%nGroups]
@@ -345,6 +357,9 @@ func directorySweep(opts Options, apps []*App, cacheSizes, blockSizes []int, gro
 			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
 		}
 		cells[i] = cell
+		if opts.Stats != nil {
+			opts.Stats.CellsDone.Add(1)
+		}
 		return nil
 	})
 	if err != nil {
@@ -483,6 +498,9 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 
 	nCaches, nProts := len(cacheSizes), len(protocols)
 	cells := make([]BusCell, len(apps)*nCaches*nProts)
+	if opts.Stats != nil {
+		opts.Stats.CellsTotal.Add(uint64(len(cells)))
+	}
 	err := runIndexed(opts.ctx(), len(cells), opts.workers(), func(i int) error {
 		app := apps[i/(nCaches*nProts)]
 		cb := cacheSizes[(i/nProts)%nCaches]
@@ -494,6 +512,7 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 			Geometry:   geom,
 			CacheBytes: cb,
 			Protocol:   p,
+			Stats:      opts.Stats,
 		}, shards, probes)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
@@ -510,6 +529,9 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
 		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts(), Probe: mergeShardProbes(built)}
+		if opts.Stats != nil {
+			opts.Stats.CellsDone.Add(1)
+		}
 		return nil
 	})
 	if err != nil {

@@ -76,7 +76,7 @@ func (sh *Sharded) RunSource(ctx context.Context, src trace.Source) error {
 	}
 	geom := sh.cfg.Geometry
 	mask := uint64(len(sh.shards) - 1)
-	return trace.Demux(ctx, src, len(sh.shards), sh.probed,
+	return trace.DemuxStats(ctx, src, len(sh.shards), sh.probed, sh.cfg.Stats,
 		func(a trace.Access) int { return int(uint64(geom.Block(a.Addr)) & mask) },
 		func(i int, b trace.ShardBatch) error { return sh.shards[i].runShardBatch(b) })
 }
@@ -91,6 +91,7 @@ func (s *System) runShardBatch(b trace.ShardBatch) error {
 			return fmt.Errorf("access %d (%v): %w", b.Steps[i], b.Accs[i], err)
 		}
 	}
+	s.noteBatch(len(b.Accs))
 	return nil
 }
 

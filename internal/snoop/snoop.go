@@ -19,6 +19,7 @@ import (
 	"migratory/internal/cache"
 	"migratory/internal/memory"
 	"migratory/internal/obs"
+	"migratory/internal/telemetry"
 	"migratory/internal/trace"
 )
 
@@ -182,6 +183,11 @@ type Config struct {
 	// events with Short=1. nil (the default) costs nothing beyond a branch
 	// at each emission site.
 	Probe obs.Probe
+	// Stats, when non-nil, receives batch-granularity run telemetry
+	// (internal/telemetry): accesses processed, batches delivered, and
+	// migrations. Pushed once per DefaultBatchSize chunk, never per access,
+	// so nil costs a single pointer test per batch.
+	Stats *telemetry.RunStats
 
 	// shards/shardIndex mark this System as one slice of a set-sharded
 	// run (see NewSharded); zero for a whole-machine System.
@@ -250,6 +256,12 @@ type System struct {
 	accesses uint64
 	cur      trace.Access
 	step     uint64
+
+	// stats mirrors cfg.Stats; statMig remembers the migration count
+	// already pushed to it, so noteBatch adds a delta without the hot path
+	// ever touching an atomic.
+	stats   *telemetry.RunStats
+	statMig uint64
 }
 
 // emit stamps and delivers one event; callers guard with s.probe != nil.
@@ -282,7 +294,7 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes), probe: cfg.Probe, tbl: buildSnoopTables(cfg.Protocol)}
+	s := &System{cfg: cfg, caches: make([]*cache.Cache, cfg.Nodes), probe: cfg.Probe, stats: cfg.Stats, tbl: buildSnoopTables(cfg.Protocol)}
 	for i := range s.caches {
 		s.caches[i] = cache.New(cache.Config{
 			SizeBytes:  cfg.CacheBytes,
@@ -408,7 +420,23 @@ func (s *System) runBatch(batch []trace.Access, base int) error {
 			return fmt.Errorf("access %d (%v): %w", base+i, batch[i], err)
 		}
 	}
+	s.noteBatch(len(batch))
 	return nil
+}
+
+// noteBatch pushes one processed batch into the attached telemetry
+// counters; migrations go in as a delta against what was last pushed.
+func (s *System) noteBatch(n int) {
+	st := s.stats
+	if st == nil {
+		return
+	}
+	st.Accesses.Add(uint64(n))
+	st.Batches.Add(1)
+	if m := s.migrations; m != s.statMig {
+		st.Migrations.Add(m - s.statMig)
+		s.statMig = m
+	}
 }
 
 // Access applies one processor reference.

@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
+
+	"migratory/internal/telemetry"
 )
 
 // BenchRecord is one benchmark's machine-readable metrics, as written to
@@ -59,8 +60,8 @@ func UpdateBenchJSON(path, name string, metrics map[string]float64) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	// Atomic replace: concurrent readers (benchcheck, a live sweep's
+	// telemetry) never observe a torn file, and an interrupted benchmark
+	// run leaves the previous rows intact.
+	return telemetry.WriteFileAtomic(path, append(out, '\n'), 0o644)
 }

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers (and crashes) never
+// observe a torn file: the bytes go to a temporary file in the same
+// directory, are flushed, and the temp file is renamed over path. Rename
+// within one directory is atomic on POSIX filesystems, so path either holds
+// its previous content or the complete new content. The parent directory is
+// created if needed.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

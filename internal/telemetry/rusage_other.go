@@ -1,0 +1,6 @@
+//go:build !unix
+
+package telemetry
+
+// peakRSSBytes is unavailable off unix; manifests record 0.
+func peakRSSBytes() uint64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package telemetry
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSBytes reports the process's maximum resident set size, or 0 when
+// the platform cannot say. ru_maxrss is in kilobytes on Linux and bytes on
+// Darwin.
+func peakRSSBytes() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := uint64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss *= 1024
+	}
+	return rss
+}

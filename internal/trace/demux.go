@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
+
+	"migratory/internal/telemetry"
 )
 
 // ShardBatch is one routed chunk of accesses delivered to a demux consumer.
@@ -65,6 +68,17 @@ func putShardBatch(b ShardBatch) {
 // consume error, then the source error.
 func Demux(ctx context.Context, src Reader, shards int, withSteps bool,
 	route func(Access) int, consume func(shard int, b ShardBatch) error) error {
+	return DemuxStats(ctx, src, shards, withSteps, nil, route, consume)
+}
+
+// DemuxStats is Demux with an optional telemetry counter block. When stats
+// is non-nil the producer and consumers account each routed batch
+// (DemuxBatches), per-shard in-flight depth (QueueDepth), and producer time
+// spent blocked on a full shard queue (DemuxStalls / DemuxStallNs) — the
+// live back-pressure signal of a sharded run. A nil stats is exactly
+// Demux: the accounting sits on batch hand-offs, never the per-access loop.
+func DemuxStats(ctx context.Context, src Reader, shards int, withSteps bool,
+	stats *telemetry.RunStats, route func(Access) int, consume func(shard int, b ShardBatch) error) error {
 	if shards < 1 {
 		return fmt.Errorf("trace: demux shards %d (want >= 1)", shards)
 	}
@@ -90,6 +104,9 @@ func Demux(ctx context.Context, src Reader, shards int, withSteps bool,
 		go func(shard int) {
 			defer wg.Done()
 			for b := range chans[shard] {
+				if stats != nil {
+					stats.QueueDepth[shard%telemetry.MaxQueueShards].Add(-1)
+				}
 				if consumeErrs[shard] == nil {
 					if err := consume(shard, b); err != nil {
 						consumeErrs[shard] = err
@@ -113,8 +130,37 @@ func Demux(ctx context.Context, src Reader, shards int, withSteps bool,
 		pending[i] = newPending()
 	}
 	// send hands pending[shard] to its consumer, or recycles it when the
-	// run is being torn down; either way pending[shard] is replaced.
+	// run is being torn down; either way pending[shard] is replaced. With
+	// stats attached it first tries a non-blocking hand-off; only when the
+	// shard queue is full does it fall back to the blocking path and charge
+	// the wait to DemuxStalls/DemuxStallNs.
 	send := func(shard int) bool {
+		if stats != nil {
+			// Count the batch in flight before the hand-off: if the consumer
+			// drained it before the producer incremented, the gauge would dip
+			// below zero. The stop path undoes the optimistic increment.
+			depth := &stats.QueueDepth[shard%telemetry.MaxQueueShards]
+			depth.Add(1)
+			select {
+			case chans[shard] <- pending[shard]:
+			default:
+				stats.DemuxStalls.Add(1)
+				t0 := time.Now()
+				select {
+				case chans[shard] <- pending[shard]:
+					stats.DemuxStallNs.Add(uint64(time.Since(t0)))
+				case <-stop:
+					stats.DemuxStallNs.Add(uint64(time.Since(t0)))
+					depth.Add(-1)
+					putShardBatch(pending[shard])
+					pending[shard] = newPending()
+					return false
+				}
+			}
+			stats.DemuxBatches.Add(1)
+			pending[shard] = newPending()
+			return true
+		}
 		select {
 		case chans[shard] <- pending[shard]:
 			pending[shard] = newPending()
