@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vuln bench bench-check fuzz ci inspect-demo profile
+.PHONY: build test race vet vuln bench bench-check fuzz ci inspect-demo profile apidiff serve-smoke
 
 # Seconds of fuzzing per target in `make fuzz` (kept short for CI).
 FUZZTIME ?= 10s
@@ -50,6 +50,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzMTRDecode$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchBoundary$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzShardDemux$$' -fuzztime $(FUZZTIME) .
+
+# Exported-API compatibility gate: compares the root package against
+# APIDIFF_BASE (default HEAD~1) with golang.org/x/exp/cmd/apidiff, failing
+# on incompatible changes not listed in scripts/apidiff_allowlist.txt.
+# Skips with a notice when apidiff is not on PATH (CI installs it).
+apidiff:
+	./scripts/apidiff.sh
+
+# End-to-end service smoke: boots the real cohd binary, fires 50 concurrent
+# submissions at a 4-deep queue (expecting 429 overflow and zero failed
+# admitted runs), checks cache hits, goroutine stability, and a clean
+# SIGTERM drain.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/cohd
 
 ci: build vet test race
 

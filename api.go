@@ -493,9 +493,54 @@ const DefaultTraceBatchSize = trace.DefaultBatchSize
 // falling back to per-access Next calls otherwise.
 func FillTraceBatch(r TraceReader, buf []Access) (int, error) { return trace.FillBatch(r, buf) }
 
+// Unified run API: one declarative config and one entry point for all
+// three simulators. This is the same path the CLI tools and the cohd
+// service execute, so a config accepted here produces bit-identical
+// results on every surface.
+type (
+	// RunConfig describes one simulation run: engine, workload or trace,
+	// policy/protocol, cache geometry, placement, sharding. The zero
+	// values mean the paper's defaults; Validate reports problems with
+	// the package's typed sentinel errors.
+	RunConfig = sim.RunConfig
+	// RunResult is a Run's outcome; exactly one engine section is set,
+	// and equal results marshal to equal JSON bytes.
+	RunResult = sim.RunResult
+	// DirectoryRunResult is the directory engine's RunResult section.
+	DirectoryRunResult = sim.DirectoryResult
+	// BusRunResult is the bus engine's RunResult section.
+	BusRunResult = sim.BusResult
+)
+
+// Engine names for RunConfig.Engine.
+const (
+	EngineDirectory = sim.EngineDirectory
+	EngineBus       = sim.EngineBus
+	EngineTiming    = sim.EngineTiming
+)
+
+// Placement names for RunConfig.Placement (directory engine).
+const (
+	PlacementUsage      = sim.PlacementUsage
+	PlacementFirstTouch = sim.PlacementFirstTouch
+	PlacementRoundRobin = sim.PlacementRoundRobin
+)
+
+// Run executes one simulation described by cfg: the engine is selected by
+// cfg.Engine, the trace by cfg.Workload or cfg.TraceFile, and validation
+// (RunConfig.Validate) wraps the same typed sentinels every other surface
+// returns. A nil ctx behaves like context.Background(); a cancelled one
+// aborts the run within a few thousand accesses with ctx.Err().
+func Run(ctx context.Context, cfg RunConfig) (*RunResult, error) { return sim.Run(ctx, cfg) }
+
 // RunDirectory builds a directory-based system and streams src through it.
 // A nil ctx behaves like context.Background(); a cancelled one aborts the
 // run within a few thousand accesses with ctx.Err().
+//
+// Deprecated: Use Run with EngineDirectory — it adds validation, workload
+// and trace-file opening, placement, sharding, and cacheable results. For
+// a caller-managed source, set RunConfig's in-process override fields via
+// the sim package, or keep using this wrapper; it remains supported.
 func RunDirectory(ctx context.Context, src TraceSource, cfg DirectoryConfig) (*DirectorySystem, error) {
 	sys, err := directory.New(cfg)
 	if err != nil {
@@ -509,6 +554,8 @@ func RunDirectory(ctx context.Context, src TraceSource, cfg DirectoryConfig) (*D
 
 // RunBus builds a snooping bus system and streams src through it, with the
 // same context semantics as RunDirectory.
+//
+// Deprecated: Use Run with EngineBus (see RunDirectory's note).
 func RunBus(ctx context.Context, src TraceSource, cfg BusConfig) (*BusSystem, error) {
 	sys, err := snoop.New(cfg)
 	if err != nil {
@@ -521,6 +568,8 @@ func RunBus(ctx context.Context, src TraceSource, cfg BusConfig) (*BusSystem, er
 }
 
 // RunTimedSource executes a streamed trace under the timing model.
+//
+// Deprecated: Use Run with EngineTiming (see RunDirectory's note).
 func RunTimedSource(ctx context.Context, src TraceSource, cfg TimingConfig) (TimingResult, error) {
 	return timing.RunSource(ctx, src, cfg)
 }
@@ -595,6 +644,13 @@ var (
 	ErrUnknownProfile = workload.ErrUnknownProfile
 	// ErrUnknownEventKind reports an event-kind name that does not resolve.
 	ErrUnknownEventKind = obs.ErrUnknownEventKind
+	// ErrUnknownProtocol reports a bus-protocol name that does not resolve.
+	ErrUnknownProtocol = snoop.ErrUnknownProtocol
+	// ErrUnknownEngine reports a RunConfig.Engine that names no simulator.
+	ErrUnknownEngine = sim.ErrUnknownEngine
+	// ErrUnknownPlacement reports a RunConfig.Placement that names no
+	// placement policy.
+	ErrUnknownPlacement = sim.ErrUnknownPlacement
 	// ErrBadGeometry reports invalid block/page geometry.
 	ErrBadGeometry = memory.ErrBadGeometry
 	// ErrTraceTruncated reports a trace file cut short.

@@ -22,8 +22,6 @@ import (
 
 	"migratory/internal/cliutil"
 	"migratory/internal/core"
-	"migratory/internal/directory"
-	"migratory/internal/memory"
 	"migratory/internal/sim"
 	"migratory/internal/workload"
 )
@@ -90,28 +88,22 @@ func main() {
 	fmt.Println("invalidated per ownership acquisition — the Weber–Gupta motivation for")
 	fmt.Println("migratory detection.")
 	fmt.Println()
-	geom := memory.MustGeometry(16, sim.PageSize)
 	shards := cliutil.ResolveShards(opts.Shards, *cache, 16)
 	for _, app := range apps {
-		sys, err := directory.NewSharded(directory.Config{
-			Nodes: opts.Nodes, Geometry: geom, CacheBytes: *cache,
-			Policy:    core.Conventional,
-			Placement: app.Placement,
-			Stats:     run.Stats(),
-		}, shards, nil)
+		res, err := sim.Run(ctx, sim.RunConfig{
+			Engine:          sim.EngineDirectory,
+			Nodes:           opts.Nodes,
+			Policy:          core.Conventional.Name,
+			CacheBytes:      *cache,
+			Shards:          shards,
+			Stats:           run.Stats(),
+			OpenSource:      app.Open,
+			PlacementPolicy: app.Placement,
+		})
 		if err != nil {
 			cliutil.FatalRun(run, "classify", "%v", err)
 		}
-		src, err := app.Open()
-		if err != nil {
-			cliutil.FatalRun(run, "classify", "%v", err)
-		}
-		err = sys.RunSource(ctx, src)
-		src.Close()
-		if err != nil {
-			cliutil.FatalRun(run, "classify", "%v", err)
-		}
-		hist := sys.InvalidationHistogram()
+		hist := res.InvalidationHistogram()
 		sizes := make([]int, 0, len(hist))
 		var total uint64
 		for sz, c := range hist {

@@ -21,21 +21,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"migratory/internal/cliutil"
 	"migratory/internal/core"
-	"migratory/internal/directory"
 	"migratory/internal/memory"
 	"migratory/internal/obs"
-	"migratory/internal/placement"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
 	"migratory/internal/telemetry"
-	"migratory/internal/trace"
-	"migratory/internal/workload"
 )
 
 // teleRun is the command's telemetry session; fatal funnels failures
@@ -103,15 +100,22 @@ func main() {
 		}
 	}
 
+	switch {
+	case *app == "" && *traceIn == "":
+		cliutil.Usagef("inspect", "need -app or -trace")
+	case *app != "" && *traceIn != "":
+		cliutil.Usagef("inspect", "use -app or -trace, not both")
+	}
+	if *engine != sim.EngineDirectory && *engine != sim.EngineBus {
+		cliutil.Usagef("inspect", "unknown engine %q (want directory or bus)", *engine)
+	}
+
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	teleRun = tele.Start(sim.Options{Nodes: *nodes, Seed: *seed, Length: *length, Shards: *shards},
 		*traceIn, map[string]any{"app": *app, "engine": *engine, "variant": *variant, "cache_kb": *cacheKB, "block": *blockSize})
 	defer teleRun.Close(nil)
-
-	src := openSource(*app, *traceIn, *nodes, *seed, *length)
-	defer src.Close()
 
 	// Assemble the per-event probe chain (printer and exporters behind the
 	// filter); the full-stream metrics probes are built per shard inside run
@@ -154,7 +158,18 @@ func main() {
 		extra = obs.FilterProbe{Filter: filter, Next: filtered}
 	}
 
-	mp := run(ctx, *engine, *variant, src, *nodes, *cacheKB<<10, *blockSize, nshards, extra)
+	cfg := sim.RunConfig{
+		Engine:     *engine,
+		Workload:   *app,
+		TraceFile:  *traceIn,
+		Nodes:      *nodes,
+		Seed:       *seed,
+		Length:     *length,
+		CacheBytes: *cacheKB << 10,
+		BlockSize:  *blockSize,
+		Shards:     nshards,
+	}
+	mp := run(ctx, cfg, *variant, extra)
 
 	if truncated {
 		fmt.Printf("... (stream truncated at %d events; raise -max)\n", *max)
@@ -192,60 +207,21 @@ func main() {
 	teleRun.Close(nil)
 }
 
-// openSource builds the access stream from -trace or -app without
-// materializing it.
-func openSource(app, traceIn string, nodes int, seed int64, length int) trace.Source {
-	switch {
-	case traceIn != "":
-		src, err := trace.OpenFile(traceIn)
-		if err != nil {
-			fatal("%v", err)
-		}
-		return src
-	case app != "":
-		prof, err := workload.ProfileByName(app)
-		if err != nil {
-			fatal("%v", err)
-		}
-		src, err := workload.NewSource(prof, nodes, seed, length)
-		if err != nil {
-			fatal("%v", err)
-		}
-		return src
-	default:
-		cliutil.Usagef("inspect", "need -app or -trace")
-		return nil
+// run replays the configured trace under the selected engine and variant
+// through the unified sim.Run entry point and returns the merged
+// full-stream metrics probe. extra, when non-nil, is the filtered
+// per-event chain (printer/exporters); it attaches to shard 0, which under
+// -shards 1 is the whole stream. The directory engine's usage-based
+// placement profiling pass happens inside sim.Run.
+func run(ctx context.Context, cfg sim.RunConfig, variant string, extra obs.Probe) *obs.MetricsProbe {
+	switch cfg.Engine {
+	case sim.EngineDirectory:
+		cfg.Policy = variant
+	case sim.EngineBus:
+		cfg.Protocol = variant
 	}
-}
-
-// countingSource counts the accesses delivered through it.
-type countingSource struct {
-	trace.Source
-	n int
-}
-
-func (c *countingSource) Next() (trace.Access, error) {
-	a, err := c.Source.Next()
-	if err == nil {
-		c.n++
-	}
-	return a, err
-}
-
-// run replays the source under the selected engine and variant across
-// shards engine instances (1 = sequential) and returns the merged
-// full-stream metrics probe. extra, when non-nil, is the filtered per-event
-// chain (printer/exporters); it attaches to shard 0, which under -shards 1
-// is the whole stream. The directory engine takes a profiling pass first
-// (for the usage-based placement), then the source is rewound for
-// simulation.
-func run(ctx context.Context, engine, variant string, src trace.Source, nodes, cacheBytes, blockSize, shards int, extra obs.Probe) *obs.MetricsProbe {
-	geom, err := memory.NewGeometry(blockSize, sim.PageSize)
-	if err != nil {
-		fatal("%v", err)
-	}
-	per := make([]*obs.MetricsProbe, shards)
-	probeAt := func(i int) obs.Probe {
+	per := make([]*obs.MetricsProbe, cfg.Shards)
+	cfg.Probes = func(i int) obs.Probe {
 		per[i] = &obs.MetricsProbe{}
 		var inner obs.Probe = per[i]
 		if i == 0 && extra != nil {
@@ -255,59 +231,25 @@ func run(ctx context.Context, engine, variant string, src trace.Source, nodes, c
 		// /metrics endpoint shows the replay's event rate.
 		return &obs.StatsProbe{Stats: teleRun.Stats(), Inner: inner}
 	}
-	switch engine {
-	case "directory":
-		pol, err := core.PolicyByName(variant)
-		if err != nil {
+	cfg.Stats = teleRun.Stats()
+	res, err := sim.Run(ctx, cfg)
+	if err != nil {
+		// Bad names and geometry are usage errors, like a bad flag; real
+		// failures funnel through the manifest-sealing fatal.
+		if errors.Is(err, core.ErrUnknownPolicy) || errors.Is(err, snoop.ErrUnknownProtocol) ||
+			errors.Is(err, memory.ErrBadGeometry) {
 			cliutil.Usagef("inspect", "%v", err)
 		}
-		pl, err := placement.UsageBasedSource(src, geom, nodes)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if err := src.Reset(); err != nil {
-			fatal("%v", err)
-		}
-		sys, err := directory.NewSharded(directory.Config{
-			Nodes:      nodes,
-			Geometry:   geom,
-			CacheBytes: cacheBytes,
-			Policy:     pol,
-			Placement:  pl,
-			Stats:      teleRun.Stats(),
-		}, shards, probeAt)
-		if err != nil {
-			fatal("%v", err)
-		}
-		if err := sys.RunSource(ctx, src); err != nil {
-			fatal("%v", err)
-		}
-		m := sys.Messages()
+		fatal("%v", err)
+	}
+	switch cfg.Engine {
+	case sim.EngineDirectory:
+		m := res.Directory.Msgs
 		fmt.Printf("\n%s/%s: %d accesses, %d short + %d data messages\n",
-			engine, variant, sys.Counters().Accesses, m.Short, m.Data)
-	case "bus":
-		prot, err := cliutil.BusProtocolByName(variant)
-		if err != nil {
-			cliutil.Usagef("inspect", "%v", err)
-		}
-		sys, err := snoop.NewSharded(snoop.Config{
-			Nodes:      nodes,
-			Geometry:   geom,
-			CacheBytes: cacheBytes,
-			Protocol:   prot,
-			Stats:      teleRun.Stats(),
-		}, shards, probeAt)
-		if err != nil {
-			fatal("%v", err)
-		}
-		counted := &countingSource{Source: src}
-		if err := sys.RunSource(ctx, counted); err != nil {
-			fatal("%v", err)
-		}
-		fmt.Printf("\n%s/%s: %d accesses, %d bus transactions\n",
-			engine, variant, counted.n, sys.Counts().Total())
+			cfg.Engine, variant, res.Accesses, m.Short, m.Data)
 	default:
-		cliutil.Usagef("inspect", "unknown engine %q (want directory or bus)", engine)
+		fmt.Printf("\n%s/%s: %d accesses, %d bus transactions\n",
+			cfg.Engine, variant, res.Accesses, res.Bus.Counts.Total())
 	}
 	return obs.MergeMetrics(per...)
 }

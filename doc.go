@@ -27,7 +27,25 @@
 //     simulates a private system over a shared read-only trace and results
 //     are assembled in paper order.
 //
-// The quickest way in:
+// The quickest way in is the unified Run entry point — one declarative
+// config selects the engine, the trace, and the variant, with zero values
+// meaning the paper's defaults:
+//
+//	res, _ := migratory.Run(ctx, migratory.RunConfig{
+//	    Engine:   migratory.EngineDirectory,
+//	    Workload: "MP3D",
+//	    Policy:   "aggressive",
+//	})
+//	fmt.Println(res.Directory.Msgs)
+//
+// RunConfig.Validate rejects a bad config with the same typed sentinels
+// every surface shares (ErrUnknownEngine, ErrUnknownPolicy,
+// ErrUnknownProtocol, ErrUnknownProfile, ErrUnknownPlacement, …), and
+// equal results marshal to equal JSON bytes, which is what makes them
+// cacheable by content hash (RunConfig.Digest — the basis of cmd/cohd,
+// the coherence-as-a-service daemon serving this same API over HTTP with
+// admission control and a result cache). The engines stay directly
+// constructible for finer control:
 //
 //	accs, _ := migratory.GenerateWorkload("MP3D", 16, 1, 100000)
 //	sys, _ := migratory.NewDirectorySystem(migratory.DirectoryConfig{
@@ -95,10 +113,11 @@
 // NewSliceTraceSource (in-memory), NewGeneratorSource (lazy synthetic
 // workload, bit-identical to GenerateWorkload), or OpenTraceFile (the
 // compact varint-delta ".mtr" binary format written by NewTraceWriter and
-// cmd/tracegen; the legacy fixed-record format is still readable). The
-// context-aware entry points RunDirectory, RunBus, and RunTimedSource
-// stream a source through the respective engine and honor cancellation;
-// AnalyzeTraceSource and ClassifyBlocksSource are their analysis twins.
+// cmd/tracegen; the legacy fixed-record format is still readable). Run
+// streams whichever source the config names and honors cancellation; the
+// deprecated per-engine wrappers RunDirectory, RunBus, and RunTimedSource
+// remain for callers managing their own sources, and AnalyzeTraceSource
+// and ClassifyBlocksSource are the analysis twins.
 // ExperimentOptions.Context threads a context through every sweep driver
 // and ExperimentOptions.Stream makes the sweeps regenerate workloads
 // lazily per cell, keeping sweep memory constant in the trace length.

@@ -290,16 +290,10 @@ func PolicyArg(name, policy string) core.Policy {
 	return pol
 }
 
-// BusProtocolByName resolves a snooping protocol variant by its name.
+// BusProtocolByName resolves a snooping protocol variant by its name. The
+// error wraps snoop.ErrUnknownProtocol, exactly like the unified Run API.
 func BusProtocolByName(name string) (snoop.Protocol, error) {
-	all := []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst,
-		snoop.Symmetry, snoop.Berkeley, snoop.UpdateOnce}
-	for _, p := range all {
-		if p.String() == name {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown bus protocol %q", name)
+	return snoop.ProtocolByName(name)
 }
 
 // ParseCaches parses a comma-separated list of per-node cache sizes in

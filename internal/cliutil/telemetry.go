@@ -20,10 +20,10 @@ import (
 type TelemetryFlags struct {
 	name string
 
+	*LogFlags
+
 	Addr        *string
 	Interval    *time.Duration
-	LogLevel    *string
-	LogFormat   *string
 	ManifestDir *string
 	Progress    *string
 }
@@ -34,19 +34,37 @@ func RegisterTelemetry(name string) *TelemetryFlags {
 	t := &TelemetryFlags{name: name}
 	t.Addr = flag.String("telemetry-addr", "", "serve live metrics on this address (/metrics, /status, /healthz, /debug/vars, /debug/pprof); empty = no server")
 	t.Interval = flag.Duration("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling cadence")
-	t.LogLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
-	t.LogFormat = flag.String("log-format", "text", "log line shape: text or json")
+	t.LogFlags = RegisterLogging(name)
 	t.ManifestDir = flag.String("manifest-dir", "results", "directory for atomically written run manifests; empty = no manifest")
 	t.Progress = flag.String("progress", "auto", "periodic progress/ETA lines on stderr: auto (TTY only), on, or off")
 	return t
 }
 
+// LogFlags is the structured-logging slice of the shared flags, separable
+// so always-on servers (cohd) can take -log-level/-log-format without the
+// one-shot sweep flags.
+type LogFlags struct {
+	name string
+
+	LogLevel  *string
+	LogFormat *string
+}
+
+// RegisterLogging declares -log-level and -log-format on the default flag
+// set.
+func RegisterLogging(name string) *LogFlags {
+	l := &LogFlags{name: name}
+	l.LogLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	l.LogFormat = flag.String("log-format", "text", "log line shape: text or json")
+	return l
+}
+
 // SetupLogging installs the process-wide slog default described by
 // -log-level and -log-format. Call immediately after flag.Parse so every
 // later warning and error (including Fatal) is shaped consistently.
-func (t *TelemetryFlags) SetupLogging() {
+func (l *LogFlags) SetupLogging() {
 	var level slog.Level
-	switch strings.ToLower(*t.LogLevel) {
+	switch strings.ToLower(*l.LogLevel) {
 	case "debug":
 		level = slog.LevelDebug
 	case "info", "":
@@ -56,17 +74,17 @@ func (t *TelemetryFlags) SetupLogging() {
 	case "error":
 		level = slog.LevelError
 	default:
-		Usagef(t.name, "-log-level: unknown level %q (want debug, info, warn, or error)", *t.LogLevel)
+		Usagef(l.name, "-log-level: unknown level %q (want debug, info, warn, or error)", *l.LogLevel)
 	}
 	ho := &slog.HandlerOptions{Level: level}
 	var h slog.Handler
-	switch strings.ToLower(*t.LogFormat) {
+	switch strings.ToLower(*l.LogFormat) {
 	case "text", "":
 		h = slog.NewTextHandler(os.Stderr, ho)
 	case "json":
 		h = slog.NewJSONHandler(os.Stderr, ho)
 	default:
-		Usagef(t.name, "-log-format: unknown format %q (want text or json)", *t.LogFormat)
+		Usagef(l.name, "-log-format: unknown format %q (want text or json)", *l.LogFormat)
 	}
 	slog.SetDefault(slog.New(h))
 }

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"migratory/internal/telemetry"
+)
+
+// cacheEntry is the on-disk form of one memoized result: the digest and
+// submitted config ride along for debuggability, result carries the exact
+// bytes a fresh run marshaled (so hits are bit-identical to misses).
+type cacheEntry struct {
+	Digest string          `json:"digest"`
+	Config json.RawMessage `json:"config,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// cache is the content-hash result store: one <digest>.json per successful
+// run under dir. The filesystem is the index — entries survive restarts
+// and are shared by any process pointed at the same directory. Writes are
+// atomic (temp file + rename), so concurrent writers of the same digest
+// land one complete entry.
+type cache struct {
+	dir string
+}
+
+func newCache(dir string) (*cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: result cache: %w", err)
+	}
+	return &cache{dir: dir}, nil
+}
+
+func (c *cache) path(digest string) string {
+	return filepath.Join(c.dir, digest+".json")
+}
+
+// get loads a memoized result; ok is false on miss or an unreadable entry
+// (a corrupt file degrades to a miss, never an error).
+func (c *cache) get(digest string) (json.RawMessage, bool) {
+	data, err := os.ReadFile(c.path(digest))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || len(e.Result) == 0 {
+		return nil, false
+	}
+	// The entry file is indented for debuggability; recompact so a hit
+	// serves the exact bytes a fresh run would marshal.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, e.Result); err != nil {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+func (c *cache) put(digest string, cfg, result json.RawMessage) error {
+	data, err := json.MarshalIndent(cacheEntry{Digest: digest, Config: cfg, Result: result}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return telemetry.WriteFileAtomic(c.path(digest), append(data, '\n'), 0o644)
+}

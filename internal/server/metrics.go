@@ -1,0 +1,143 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latWindow is the per-request wall-time window the latency quantiles are
+// computed over (the most recent completions).
+const latWindow = 512
+
+// latRing is a fixed-size ring of recent request wall times plus lifetime
+// sum/count, feeding the p50/p99 gauges and the Prometheus summary.
+type latRing struct {
+	mu    sync.Mutex
+	buf   [latWindow]float64
+	n     int // filled entries (<= latWindow)
+	next  int
+	sum   float64
+	count uint64
+}
+
+func (r *latRing) observe(seconds float64) {
+	r.mu.Lock()
+	r.buf[r.next] = seconds
+	r.next = (r.next + 1) % latWindow
+	if r.n < latWindow {
+		r.n++
+	}
+	r.sum += seconds
+	r.count++
+	r.mu.Unlock()
+}
+
+// quantiles returns the windowed p50/p99 and the lifetime sum/count.
+func (r *latRing) quantiles() (p50, p99 float64, sum float64, count uint64) {
+	r.mu.Lock()
+	vals := append([]float64(nil), r.buf[:r.n]...)
+	sum, count = r.sum, r.count
+	r.mu.Unlock()
+	if len(vals) == 0 {
+		return 0, 0, sum, count
+	}
+	sort.Float64s(vals)
+	at := func(q float64) float64 { return vals[int(q*float64(len(vals)-1)+0.5)] }
+	return at(0.50), at(0.99), sum, count
+}
+
+// metrics is the admission-control counter block.
+type metrics struct {
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	coalesced   atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	inFlight    atomic.Uint64
+
+	lat latRing
+}
+
+func (m *metrics) observe(seconds float64) { m.lat.observe(seconds) }
+
+// WriteMetrics appends the service's Prometheus families to a /metrics
+// response (telemetry.Server.OnMetrics-compatible).
+func (s *Server) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("cohd_requests_accepted_total", "Run requests admitted to the queue.", s.m.accepted.Load())
+	counter("cohd_requests_rejected_total", "Run requests rejected with 429 (queue full).", s.m.rejected.Load())
+	counter("cohd_requests_coalesced_total", "Run requests attached to an identical in-flight run.", s.m.coalesced.Load())
+	counter("cohd_runs_completed_total", "Runs that finished successfully.", s.m.completed.Load())
+	counter("cohd_runs_failed_total", "Runs that finished with an error (including deadline aborts).", s.m.failed.Load())
+	counter("cohd_cache_hits_total", "Run requests served from the result cache.", s.m.cacheHits.Load())
+	counter("cohd_cache_misses_total", "Cacheable run requests that had to simulate.", s.m.cacheMisses.Load())
+
+	s.mu.Lock()
+	depth := len(s.queue)
+	capacity := cap(s.queue)
+	jobs := len(s.jobs)
+	draining := 0.0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	gauge("cohd_queue_depth", "Admitted runs waiting for a worker.", float64(depth))
+	gauge("cohd_queue_capacity", "Admission queue capacity.", float64(capacity))
+	gauge("cohd_inflight_runs", "Runs executing right now.", float64(s.m.inFlight.Load()))
+	gauge("cohd_jobs_retained", "Jobs retained for listing (bounded history).", float64(jobs))
+	gauge("cohd_draining", "1 once SIGTERM drain has begun.", draining)
+
+	p50, p99, sum, count := s.m.lat.quantiles()
+	fmt.Fprintf(w, "# HELP cohd_request_wall_seconds Per-request simulation wall time (windowed quantiles over the last %d runs).\n# TYPE cohd_request_wall_seconds summary\n", latWindow)
+	fmt.Fprintf(w, "cohd_request_wall_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "cohd_request_wall_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(w, "cohd_request_wall_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "cohd_request_wall_seconds_count %d\n", count)
+}
+
+// StatusExtra merges the service's state into /status responses
+// (telemetry.Server.OnStatus-compatible).
+func (s *Server) StatusExtra() map[string]any {
+	s.mu.Lock()
+	depth := len(s.queue)
+	capacity := cap(s.queue)
+	jobs := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	p50, p99, _, count := s.m.lat.quantiles()
+	hits, misses := s.m.cacheHits.Load(), s.m.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	return map[string]any{
+		"cohd": map[string]any{
+			"queue_depth":    depth,
+			"queue_capacity": capacity,
+			"in_flight":      s.m.inFlight.Load(),
+			"jobs_retained":  jobs,
+			"draining":       draining,
+			"accepted":       s.m.accepted.Load(),
+			"rejected":       s.m.rejected.Load(),
+			"coalesced":      s.m.coalesced.Load(),
+			"completed":      s.m.completed.Load(),
+			"failed":         s.m.failed.Load(),
+			"cache_hits":     hits,
+			"cache_misses":   misses,
+			"cache_hit_rate": hitRate,
+			"wall_p50_ms":    1000 * p50,
+			"wall_p99_ms":    1000 * p99,
+			"requests_timed": count,
+		},
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"migratory/internal/core"
-	"migratory/internal/directory"
 	"migratory/internal/memory"
 	"migratory/internal/stats"
 	"migratory/internal/trace"
@@ -90,22 +89,19 @@ func ClassifierAccuracyApp(prepared *App, opts Options, cacheBytes int) ([]Accur
 	out := make([]Accuracy, len(adaptive))
 	err = runIndexed(opts.ctx(), len(adaptive), opts.workers(), func(i int) error {
 		pol := adaptive[i]
-		sys, err := newDirectoryRunner(directory.Config{
-			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
-			Policy: pol, Placement: pl,
-		}, effectiveShards(opts, cacheBytes, 16), nil)
+		res, err := Run(opts.ctx(), RunConfig{
+			Engine:          EngineDirectory,
+			Nodes:           opts.Nodes,
+			CacheBytes:      cacheBytes,
+			Shards:          opts.Shards,
+			OpenSource:      prepared.Open,
+			PlacementPolicy: pl,
+			policy:          &pol,
+		})
 		if err != nil {
 			return err
 		}
-		polSrc, err := prepared.Open()
-		if err != nil {
-			return err
-		}
-		defer polSrc.Close()
-		if err := sys.RunSource(opts.ctx(), polSrc); err != nil {
-			return err
-		}
-		detected := sys.EverMigratory()
+		detected := res.EverMigratory()
 		acc := Accuracy{App: app, Policy: pol}
 		for b, pattern := range truth {
 			if pattern == trace.PatternPrivate {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"migratory/internal/core"
-	"migratory/internal/memory"
 	"migratory/internal/stats"
 	"migratory/internal/timing"
 )
@@ -73,7 +72,6 @@ func ExecutionTimeApps(apps []*App, opts Options, policy core.Policy, cacheBytes
 	if cacheBytes == 0 {
 		cacheBytes = 64 << 10
 	}
-	geom := memory.MustGeometry(16, PageSize)
 
 	// Two independent timing simulations per application (conventional and
 	// adaptive), fanned out together.
@@ -88,14 +86,13 @@ func ExecutionTimeApps(apps []*App, opts Options, policy core.Policy, cacheBytes
 		if i%2 == 1 {
 			pol = policy
 		}
-		src, err := app.Open()
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
-		}
-		defer src.Close()
-		res, err := timing.RunSource(opts.ctx(), src, timing.Config{
-			Nodes: opts.Nodes, Geometry: geom, CacheBytes: cacheBytes,
-			Policy: pol, Params: params,
+		res, err := Run(opts.ctx(), RunConfig{
+			Engine:       EngineTiming,
+			Nodes:        opts.Nodes,
+			CacheBytes:   cacheBytes,
+			TimingParams: &params,
+			OpenSource:   app.Open,
+			policy:       &pol,
 		})
 		if err != nil {
 			if cerr := opts.ctx().Err(); cerr != nil {
@@ -103,7 +100,7 @@ func ExecutionTimeApps(apps []*App, opts Options, policy core.Policy, cacheBytes
 			}
 			return fmt.Errorf("%s/%s: %w", app.Name, pol.Name, err)
 		}
-		results[i] = res
+		results[i] = *res.Timing
 		return nil
 	})
 	if err != nil {

@@ -229,32 +229,25 @@ type Cell struct {
 func (c Cell) Reduction(base Cell) float64 { return cost.Reduction(base.Msgs, c.Msgs) }
 
 // RunDirectoryCell simulates one (app, policy, cache size, block size)
-// combination.
+// combination. It is a thin adapter over Run: the app supplies the source
+// and prepared placement, the sweep identity builds the per-shard probes.
 func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, blockSize int) (Cell, error) {
 	opts = opts.withDefaults()
-	geom, err := memory.NewGeometry(blockSize, PageSize)
-	if err != nil {
-		return Cell{}, err
-	}
 	shards := effectiveShards(opts, cacheBytes, blockSize)
 	probes, built := shardProbes(opts, app.Name, policy.Name, cacheBytes, blockSize, shards)
-	sys, err := newDirectoryRunner(directory.Config{
-		Nodes:      opts.Nodes,
-		Geometry:   geom,
-		CacheBytes: cacheBytes,
-		Policy:     policy,
-		Placement:  app.Placement,
-		Stats:      opts.Stats,
-	}, shards, probes)
+	res, err := Run(opts.ctx(), RunConfig{
+		Engine:          EngineDirectory,
+		Nodes:           opts.Nodes,
+		CacheBytes:      cacheBytes,
+		BlockSize:       blockSize,
+		Shards:          shards,
+		Probes:          probes,
+		Stats:           opts.Stats,
+		OpenSource:      app.Open,
+		PlacementPolicy: app.Placement,
+		policy:          &policy,
+	})
 	if err != nil {
-		return Cell{}, err
-	}
-	src, err := app.Open()
-	if err != nil {
-		return Cell{}, err
-	}
-	defer src.Close()
-	if err := sys.RunSource(opts.ctx(), src); err != nil {
 		return Cell{}, err
 	}
 	return Cell{
@@ -262,8 +255,8 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 		Policy:     policy,
 		CacheBytes: cacheBytes,
 		BlockSize:  blockSize,
-		Msgs:       sys.Messages(),
-		Counters:   sys.Counters(),
+		Msgs:       res.Directory.Msgs,
+		Counters:   res.Directory.Counters,
 		Probe:      mergeShardProbes(built),
 	}, nil
 }
@@ -494,7 +487,6 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 		protocols = []snoop.Protocol{snoop.MESI, snoop.Adaptive, snoop.AdaptiveMigrateFirst}
 	}
 	sw := &BusSweep{Options: opts, CacheSizes: cacheSizes, Protocols: protocols, Rows: make(map[int][]BusRow)}
-	geom := memory.MustGeometry(16, PageSize)
 
 	nCaches, nProts := len(cacheSizes), len(protocols)
 	cells := make([]BusCell, len(apps)*nCaches*nProts)
@@ -507,28 +499,23 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 		p := protocols[i%nProts]
 		shards := effectiveShards(opts, cb, 16)
 		probes, built := shardProbes(opts, app.Name, p.String(), cb, 16, shards)
-		sys, err := snoop.NewSharded(snoop.Config{
+		res, err := Run(opts.ctx(), RunConfig{
+			Engine:     EngineBus,
 			Nodes:      opts.Nodes,
-			Geometry:   geom,
+			Protocol:   p.String(),
 			CacheBytes: cb,
-			Protocol:   p,
+			Shards:     shards,
+			Probes:     probes,
 			Stats:      opts.Stats,
-		}, shards, probes)
+			OpenSource: app.Open,
+		})
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
-		}
-		src, err := app.Open()
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
-		}
-		defer src.Close()
-		if err := sys.RunSource(opts.ctx(), src); err != nil {
 			if cerr := opts.ctx().Err(); cerr != nil {
 				return cerr
 			}
 			return fmt.Errorf("%s/%s: %w", app.Name, p, err)
 		}
-		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: sys.Counts(), Probe: mergeShardProbes(built)}
+		cells[i] = BusCell{App: app.Name, Protocol: p, CacheBytes: cb, Counts: res.Bus.Counts, Probe: mergeShardProbes(built)}
 		if opts.Stats != nil {
 			opts.Stats.CellsDone.Add(1)
 		}

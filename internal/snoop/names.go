@@ -1,0 +1,27 @@
+package snoop
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownProtocol is wrapped by ProtocolByName when no bus protocol
+// variant matches, so callers can classify the failure with errors.Is.
+var ErrUnknownProtocol = errors.New("snoop: unknown protocol")
+
+// Protocols returns every bus protocol variant in presentation order.
+func Protocols() []Protocol {
+	return []Protocol{MESI, Adaptive, AdaptiveMigrateFirst, Symmetry, Berkeley, UpdateOnce}
+}
+
+// ProtocolByName resolves a protocol variant by its String name ("mesi",
+// "adaptive", "adaptive-migrate-first", "symmetry", "berkeley",
+// "update-once").
+func ProtocolByName(name string) (Protocol, error) {
+	for _, p := range Protocols() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownProtocol, name)
+}

@@ -109,6 +109,15 @@ func (sh *Sharded) Counts() Counts {
 	return total
 }
 
+// Accesses sums how many trace accesses the shards have simulated.
+func (sh *Sharded) Accesses() uint64 {
+	var n uint64
+	for _, s := range sh.shards {
+		n += s.Accesses()
+	}
+	return n
+}
+
 // Migrations sums the shards' MD-migration counts.
 func (sh *Sharded) Migrations() uint64 {
 	var n uint64

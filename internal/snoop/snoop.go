@@ -342,6 +342,9 @@ func (s *System) Config() Config { return s.cfg }
 // Counts returns the accumulated bus transaction counts.
 func (s *System) Counts() Counts { return s.counts }
 
+// Accesses returns how many trace accesses the system has simulated.
+func (s *System) Accesses() uint64 { return s.accesses }
+
 // Migrations returns how many read misses were served by migrating an MD
 // block.
 func (s *System) Migrations() uint64 { return s.migrations }

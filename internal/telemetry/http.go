@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -28,6 +29,14 @@ type Server struct {
 	mu       sync.Mutex
 	manifest *Manifest
 
+	// extension points: extra handlers mount on mux, extra metric and
+	// status producers append to the built-in payloads (cohd uses these to
+	// serve its API and admission metrics from the one telemetry server).
+	mux        *http.ServeMux
+	extMu      sync.Mutex
+	extMetrics []func(io.Writer)
+	extStatus  []func() map[string]any
+
 	ln   net.Listener
 	srv  *http.Server
 	done chan struct{}
@@ -48,6 +57,7 @@ func StartServer(addr, tool string, sampler *Sampler, manifest *Manifest) (*Serv
 	s := &Server{sampler: sampler, tool: tool, manifest: manifest, ln: ln, done: make(chan struct{})}
 
 	mux := http.NewServeMux()
+	s.mux = mux
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -80,6 +90,29 @@ func StartServer(addr, tool string, sampler *Sampler, manifest *Manifest) (*Serv
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Handle mounts an extra handler on the server's mux (http.ServeMux
+// patterns, including Go 1.22 method patterns). Safe while serving;
+// panics like ServeMux.Handle on conflicting patterns.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// OnMetrics registers a producer appending extra families to /metrics
+// responses (Prometheus text exposition; the producer writes complete
+// HELP/TYPE/sample lines). Producers run in registration order on every
+// scrape and must be safe for concurrent calls.
+func (s *Server) OnMetrics(f func(io.Writer)) {
+	s.extMu.Lock()
+	s.extMetrics = append(s.extMetrics, f)
+	s.extMu.Unlock()
+}
+
+// OnStatus registers a producer merging extra top-level keys into /status
+// responses (and the expvar mirror). Later producers win key conflicts.
+func (s *Server) OnStatus(f func() map[string]any) {
+	s.extMu.Lock()
+	s.extStatus = append(s.extStatus, f)
+	s.extMu.Unlock()
+}
+
 // SetManifest swaps the manifest served by /status.
 func (s *Server) SetManifest(m *Manifest) {
 	s.mu.Lock()
@@ -105,6 +138,14 @@ func (s *Server) statusPayload() map[string]any {
 	}
 	if man != nil {
 		payload["manifest"] = man
+	}
+	s.extMu.Lock()
+	ext := s.extStatus
+	s.extMu.Unlock()
+	for _, f := range ext {
+		for k, v := range f() {
+			payload[k] = v
+		}
 	}
 	return payload
 }
@@ -159,6 +200,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("go_gc_cycles_total", "Completed GC cycles.", float64(sm.NumGC))
 	counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", float64(sm.GCPauseTotalNs)/1e9)
 	gauge("process_uptime_seconds", "Seconds since the sampler started.", sm.Elapsed.Seconds())
+
+	s.extMu.Lock()
+	ext := s.extMetrics
+	s.extMu.Unlock()
+	for _, f := range ext {
+		f(&b)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

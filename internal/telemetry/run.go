@@ -77,6 +77,10 @@ func (r *Run) Stats() *RunStats { return &r.stats }
 // Sampler exposes the run's sampler for ad-hoc snapshots.
 func (r *Run) Sampler() *Sampler { return r.sampler }
 
+// Server exposes the run's HTTP server so callers can mount extra handlers
+// or metrics producers on it (nil when no server runs).
+func (r *Run) Server() *Server { return r.server }
+
 // ServerAddr reports the bound telemetry address ("" when no server runs).
 func (r *Run) ServerAddr() string {
 	if r.server == nil {

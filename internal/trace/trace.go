@@ -271,7 +271,7 @@ func ReadFrom(r io.Reader) ([]Access, error) {
 	count := binary.LittleEndian.Uint64(hdr[:])
 	const sanityMax = 1 << 32
 	if count > sanityMax {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
+		return nil, fmt.Errorf("trace: implausible record count %d: %w", count, ErrCorrupt)
 	}
 	out := make([]Access, 0, count)
 	var rec [recordSize]byte

@@ -1,0 +1,51 @@
+#!/bin/sh
+# apidiff.sh — gate incompatible changes to the module's exported API.
+#
+# Compares the root package's exported API against a base commit
+# (APIDIFF_BASE, default HEAD~1) with golang.org/x/exp/cmd/apidiff and
+# fails on any incompatible change not listed in
+# scripts/apidiff_allowlist.txt (one apidiff output line per entry; '#'
+# comments and blank lines ignored).
+#
+# The script does not install anything: when apidiff is not on PATH it
+# skips with a notice, mirroring the govulncheck arrangement — CI installs
+# the tool in its own step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v apidiff >/dev/null 2>&1; then
+    echo "apidiff: not installed; skipping (CI runs it)"
+    exit 0
+fi
+
+base="${APIDIFF_BASE:-HEAD~1}"
+if ! git rev-parse --verify --quiet "$base^{commit}" >/dev/null; then
+    echo "apidiff: base commit $base not available; skipping"
+    exit 0
+fi
+
+tmp="$(mktemp -d)"
+trap 'git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true; rm -rf "$tmp"' EXIT
+
+git worktree add --detach "$tmp/base" "$base" >/dev/null
+
+(cd "$tmp/base" && apidiff -w "$tmp/old.export" .)
+report="$(apidiff -incompatible "$tmp/old.export" . || true)"
+
+# Drop allowlisted lines from the report.
+if [ -f scripts/apidiff_allowlist.txt ]; then
+    grep -v '^[[:space:]]*\(#\|$\)' scripts/apidiff_allowlist.txt > "$tmp/allow" || true
+    if [ -s "$tmp/allow" ]; then
+        report="$(printf '%s\n' "$report" | grep -v -F -x -f "$tmp/allow" || true)"
+    fi
+fi
+report="$(printf '%s\n' "$report" | sed '/^[[:space:]]*$/d')"
+
+if [ -n "$report" ]; then
+    echo "apidiff: incompatible API changes vs $base:"
+    printf '%s\n' "$report"
+    echo "apidiff: extend scripts/apidiff_allowlist.txt if the break is intentional"
+    exit 1
+fi
+echo "apidiff: exported API compatible with $base"
