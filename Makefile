@@ -27,7 +27,7 @@ bench:
 # (results/bench_baseline.json), failing on regression beyond tolerance.
 # The benchmarks refresh the sweep file as a side effect of running.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead|BenchmarkShardedTable2|BenchmarkPrefetchMTR|BenchmarkTelemetryOverhead' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead|BenchmarkShardedTable2|BenchmarkPrefetchMTR|BenchmarkParallelDecodeMTR|BenchmarkTelemetryOverhead' -benchtime 10x -benchmem .
 	$(GO) run ./cmd/benchcheck
 
 # Known-vulnerability scan of the module and its (stdlib-only) dependency
@@ -50,6 +50,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzMTRDecode$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchBoundary$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzShardDemux$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentIndex$$' -fuzztime $(FUZZTIME) .
 
 # Exported-API compatibility gate: compares the root package against
 # APIDIFF_BASE (default HEAD~1) with golang.org/x/exp/cmd/apidiff, failing

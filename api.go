@@ -472,8 +472,32 @@ func NewPrefetchTraceSource(src TraceSource) *PrefetchTraceSource {
 	return trace.NewPrefetchSource(src)
 }
 
+// IndexedTraceSource decodes an indexed (v3) .mtr image with parallel
+// segment-decode workers; it implements TraceSource, so it drops into any
+// run path, and sharded runs feed decoded segments straight to the engine
+// shards without a single-producer hand-off.
+type IndexedTraceSource = trace.IndexedFileSource
+
+// NewIndexedTraceSource opens an indexed (v3) .mtr image for parallel
+// decode with the given worker count (0 = one per GOMAXPROCS). Input
+// without a segment index (v1/v2) returns ErrTraceNoIndex; use
+// OpenIndexedTraceFile for transparent fallback.
+func NewIndexedTraceSource(r io.ReaderAt, size int64, decoders int) (*IndexedTraceSource, error) {
+	return trace.NewIndexedSource(r, size, decoders)
+}
+
+// OpenIndexedTraceFile opens a trace file with the fastest decode path its
+// format supports: indexed parallel decode for v3 files, a prefetching
+// sequential decode for v1/v2. Corrupt v3 files fail loudly here rather
+// than falling back.
+func OpenIndexedTraceFile(path string, decoders int) (TraceSource, error) {
+	return trace.OpenFileParallel(path, decoders)
+}
+
 // NewTraceWriter returns a writer encoding accesses to w in the streaming
-// .mtr format. Close it to emit the integrity trailer.
+// .mtr format (version 3, segment-indexed, by default — see
+// trace.NewWriterOptions for the version escape hatch). Close it to emit
+// the integrity trailer and the segment index.
 func NewTraceWriter(w io.Writer, hdr TraceHeader) *TraceWriter { return trace.NewWriter(w, hdr) }
 
 // ReadTrace drains a source into memory.
@@ -659,4 +683,7 @@ var (
 	ErrTraceCorrupt = trace.ErrCorrupt
 	// ErrTraceBadMagic reports input that is not a trace file at all.
 	ErrTraceBadMagic = trace.ErrBadMagic
+	// ErrTraceNoIndex reports a trace without a segment index (v1/v2)
+	// where an indexed (v3) one was required.
+	ErrTraceNoIndex = trace.ErrNoIndex
 )

@@ -41,6 +41,8 @@ func main() {
 		blockSize = flag.Int("block", 16, "block size for the statistics")
 		stats     = flag.Bool("stats", false, "print trace statistics")
 		list      = flag.Bool("list", false, "list available application profiles")
+		mtrVer    = flag.Int("mtr-version", 3, "output .mtr format version: 3 (indexed, parallel-decodable) or 2 (plain stream)")
+		segBytes  = flag.Int("segment-bytes", 0, "target encoded segment size for v3 output (0 = default)")
 
 		prof = cliutil.RegisterProfile("tracegen")
 		tele = cliutil.RegisterTelemetry("tracegen")
@@ -73,16 +75,22 @@ func main() {
 		fatal(err)
 	}
 
+	if *mtrVer != 2 && *mtrVer != 3 {
+		cliutil.Usagef("tracegen", "-mtr-version must be 2 or 3 (got %d)", *mtrVer)
+	}
+
 	var src trace.Source
 	switch {
 	case *in != "":
-		fs, err := trace.OpenFile(*in)
+		// Decode ahead of the consumer so file IO and varint decode overlap
+		// the streaming statistics passes: indexed (v3) input decodes
+		// segments on parallel workers, older versions on a prefetch
+		// goroutine.
+		fs, err := trace.OpenFileParallel(*in, 0)
 		if err != nil {
 			fatal(err)
 		}
-		// Decode ahead of the consumer so file IO and varint decode overlap
-		// the streaming statistics passes.
-		src = trace.NewPrefetchSource(fs)
+		src = fs
 	case *app != "":
 		prof, err := workload.ProfileByName(*app)
 		if err != nil {
@@ -98,7 +106,7 @@ func main() {
 	defer src.Close()
 
 	if *out != "" {
-		n, err := export(src, *out, geom, *nodes)
+		n, err := export(src, *out, geom, *nodes, trace.WriterOptions{Version: *mtrVer, SegmentBytes: *segBytes})
 		if err != nil {
 			fatal(err)
 		}
@@ -117,16 +125,16 @@ func main() {
 }
 
 // export streams the source into an .mtr file and returns the access count.
-func export(src trace.Source, path string, geom memory.Geometry, nodes int) (int, error) {
+func export(src trace.Source, path string, geom memory.Geometry, nodes int, opts trace.WriterOptions) (int, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, err
 	}
-	w := trace.NewWriter(f, trace.Header{
+	w := trace.NewWriterOptions(f, trace.Header{
 		BlockSize: geom.BlockSize(),
 		PageSize:  geom.PageSize(),
 		Nodes:     nodes,
-	})
+	}, opts)
 	n, err := trace.Copy(w, src)
 	if err != nil {
 		f.Close()

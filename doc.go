@@ -113,8 +113,15 @@
 // NewSliceTraceSource (in-memory), NewGeneratorSource (lazy synthetic
 // workload, bit-identical to GenerateWorkload), or OpenTraceFile (the
 // compact varint-delta ".mtr" binary format written by NewTraceWriter and
-// cmd/tracegen; the legacy fixed-record format is still readable). Run
-// streams whichever source the config names and honors cancellation; the
+// cmd/tracegen; the legacy fixed-record format is still readable).
+// NewTraceWriter now emits an indexed v3 by default: the stream is cut
+// into independently decodable segments and a footer index lets
+// OpenIndexedTraceFile / NewIndexedTraceSource decode segments on several
+// workers (RunConfig.Decoders, the shared -decoders flag) while
+// reassembling the exact sequential stream — and sharded runs route
+// segments straight into per-shard queues with no serial producer at all.
+// Opening a v1/v2 trace through the indexed path reports ErrTraceNoIndex.
+// Run streams whichever source the config names and honors cancellation; the
 // deprecated per-engine wrappers RunDirectory, RunBus, and RunTimedSource
 // remain for callers managing their own sources, and AnalyzeTraceSource
 // and ClassifyBlocksSource are the analysis twins.
@@ -123,7 +130,8 @@
 // lazily per cell, keeping sweep memory constant in the trace length.
 // Failures are matchable with errors.Is against the exported sentinels
 // (ErrUnknownPolicy, ErrUnknownProfile, ErrUnknownEventKind,
-// ErrBadGeometry, ErrTraceTruncated, ErrTraceCorrupt, ErrTraceBadMagic).
+// ErrBadGeometry, ErrTraceTruncated, ErrTraceCorrupt, ErrTraceBadMagic,
+// ErrTraceNoIndex).
 //
 // The cmd/ directory holds CLIs that regenerate each of the paper's tables
 // and figures; see DESIGN.md for the experiment index and EXPERIMENTS.md

@@ -2,6 +2,7 @@ package migratory
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"migratory/internal/core"
@@ -227,6 +228,111 @@ func FuzzShardDemux(f *testing.F) {
 					}
 					prev = st
 				}
+			}
+		}
+	})
+}
+
+// FuzzSegmentIndex hammers the v3 segment-index reader and the indexed
+// parallel decoder with raw bytes, single-byte corruptions of valid
+// images, and truncations: every rejection must surface one of the
+// package's typed errors (never a panic, never a silent short read), and
+// whenever the indexed path accepts an input, its parallel decode must
+// match the sequential decoder on the same bytes record for record.
+func FuzzSegmentIndex(f *testing.F) {
+	encodeV3 := func(accs []trace.Access, segBytes int) []byte {
+		var buf bytes.Buffer
+		w := trace.NewWriterOptions(&buf, trace.Header{BlockSize: 16, PageSize: 4096, Nodes: 64},
+			trace.WriterOptions{SegmentBytes: segBytes})
+		for _, a := range accs {
+			if err := w.Write(a); err != nil {
+				return nil
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MTR3"))
+	f.Add([]byte("MTRX"))
+	seed := make([]byte, 96)
+	for i := range seed {
+		seed[i] = byte(i*13 + 5)
+	}
+	f.Add(seed)
+	f.Add(encodeV3(decodeAccesses(seed, 64, 250), 64))
+
+	typed := func(t *testing.T, what string, err error) {
+		if !errors.Is(err, trace.ErrTruncated) && !errors.Is(err, trace.ErrCorrupt) &&
+			!errors.Is(err, trace.ErrBadMagic) && !errors.Is(err, trace.ErrNoIndex) {
+			t.Fatalf("%s: untyped error: %v", what, err)
+		}
+	}
+	// check decodes b through the indexed path and returns the record
+	// count, or -1 when the input was rejected (with a typed error). An
+	// accepted input must decode identically through the sequential path.
+	check := func(t *testing.T, b []byte) int {
+		src, err := trace.NewIndexedSource(bytes.NewReader(b), int64(len(b)), 2)
+		var got []trace.Access
+		if err == nil {
+			got, err = trace.ReadAll(src)
+			src.Close()
+		}
+		if err != nil {
+			typed(t, "indexed", err)
+			return -1
+		}
+		fsrc, err := trace.NewFileSource(bytes.NewReader(b))
+		var want []trace.Access
+		if err == nil {
+			want, err = trace.ReadAll(fsrc)
+		}
+		if err != nil {
+			t.Fatalf("indexed decode accepted %d bytes the sequential decoder rejects: %v", len(b), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("indexed decoded %d records, sequential %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: indexed %v, sequential %v", i, got[i], want[i])
+			}
+		}
+		return len(got)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check(t, data) // raw bytes: typed rejection or consistent decode
+
+		accs := decodeAccesses(data, 64, 250)
+		img := encodeV3(accs, 96)
+		if img == nil {
+			t.Fatal("writer rejected a valid trace")
+		}
+		if n := check(t, img); n != len(accs) {
+			t.Fatalf("fresh image decoded %d records, want %d", n, len(accs))
+		}
+		if len(data) == 0 {
+			return
+		}
+
+		// One data-directed byte flip anywhere in the image: it must either
+		// be caught (typed error) or leave the decode in agreement with the
+		// sequential decoder — never a panic, never divergent records.
+		pos := (int(data[0])<<8 | int(data[len(data)/2])) % len(img)
+		mut := append([]byte(nil), img...)
+		mut[pos] ^= data[len(data)-1] | 1
+		check(t, mut)
+
+		// Every truncation must be rejected, and rejected with a type.
+		for _, cut := range []int{0, 1, len(img) / 3, len(img) - 17, len(img) - 1} {
+			if cut < 0 || cut >= len(img) {
+				continue
+			}
+			if n := check(t, img[:cut]); n >= 0 {
+				t.Fatalf("truncation at %d/%d decoded cleanly", cut, len(img))
 			}
 		}
 	})

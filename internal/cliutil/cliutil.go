@@ -1,7 +1,8 @@
 // Package cliutil collects the flag parsing, option wiring, and trace
 // loading shared by the cmd/ mains, so each command declares only what is
 // unique to it: the common sweep flags (-apps, -length, -seed, -nodes,
-// -parallelism, -trace, -stream), the parallelism guard, signal-cancelled
+// -parallelism, -shards, -decoders, -trace, -stream), the parallelism
+// guard, signal-cancelled
 // contexts, policy and bus-protocol lookup, event-filter parsing, and the
 // fatal/usage exit helpers.
 package cliutil
@@ -40,6 +41,7 @@ type Flags struct {
 	Nodes       *int
 	Parallelism *int
 	Shards      *int
+	Decoders    *int
 	Trace       *string
 	Stream      *bool
 }
@@ -54,6 +56,7 @@ func Register(name string) *Flags {
 	f.Nodes = flag.Int("nodes", 16, "processor count")
 	f.Parallelism = flag.Int("parallelism", 0, "sweep worker goroutines (0 = all CPUs, 1 = sequential; results are identical either way)")
 	f.Shards = flag.Int("shards", 1, "engine shards per untimed simulation run, split by cache-set index (1 = sequential, -1 = all CPUs; results are identical either way)")
+	f.Decoders = flag.Int("decoders", 0, "parallel trace-decode workers for indexed (v3) .mtr files (0 = all CPUs, 1 = sequential decode; results are identical either way)")
 	f.Trace = flag.String("trace", "", "run over a binary trace file (from tracegen) instead of the built-in workloads")
 	f.Stream = flag.Bool("stream", false, "regenerate traces lazily per simulation cell instead of materializing them (O(1) trace memory; bit-identical results)")
 	return f
@@ -67,6 +70,7 @@ func Register(name string) *Flags {
 func (f *Flags) Validate() {
 	f.validateWorkerFlag("-parallelism", *f.Parallelism, 0)
 	f.validateWorkerFlag("-shards", *f.Shards, -1)
+	f.validateWorkerFlag("-decoders", *f.Decoders, 0)
 
 	procs := runtime.GOMAXPROCS(0)
 	shards := *f.Shards
@@ -135,6 +139,7 @@ func (f *Flags) Options(ctx context.Context) sim.Options {
 		Stream:      *f.Stream,
 		Parallelism: *f.Parallelism,
 		Shards:      *f.Shards,
+		Decoders:    *f.Decoders,
 	}
 	if *f.Apps != "" {
 		for _, a := range strings.Split(*f.Apps, ",") {
@@ -152,26 +157,25 @@ func (f *Flags) TraceApps() ([]*sim.App, error) {
 	if *f.Trace == "" {
 		return nil, nil
 	}
-	app, err := TraceApp(*f.Trace, *f.Nodes)
+	app, err := TraceApp(*f.Trace, *f.Nodes, *f.Decoders)
 	if err != nil {
 		return nil, err
 	}
 	return []*sim.App{app}, nil
 }
 
-// TraceApp wraps one binary trace file (legacy fixed-record or streaming
-// .mtr format) as a sim.App: the usage-based placement comes from one
-// streaming profiling pass, and each Open re-reads the file from the start.
-// Opened sources decode ahead of the simulation on a prefetch goroutine
-// (trace.NewPrefetchSource), so file IO and varint decode overlap the
-// engine's work.
-func TraceApp(path string, nodes int) (*sim.App, error) {
+// TraceApp wraps one binary trace file (any .mtr version or the legacy
+// fixed-record format) as a sim.App: the usage-based placement comes from
+// one streaming profiling pass, and each Open re-reads the file from the
+// start. Indexed (v3) files open as an IndexedFileSource with decoders
+// decode workers — in sharded runs the segments feed the shards directly
+// (trace.DemuxParallel); older versions fall back to sequential decode
+// ahead of the simulation on a prefetch goroutine. Either way decode
+// overlaps the engine's work, and the composition is explicit in
+// trace.OpenFileParallel rather than depending on the shard count.
+func TraceApp(path string, nodes, decoders int) (*sim.App, error) {
 	return sim.NewSourceApp(path, func() (trace.Source, error) {
-		src, err := trace.OpenFile(path)
-		if err != nil {
-			return nil, err
-		}
-		return trace.NewPrefetchSource(src), nil
+		return trace.OpenFileParallel(path, decoders)
 	}, nodes)
 }
 

@@ -359,6 +359,45 @@ func TestCacheHitAndMetrics(t *testing.T) {
 	}
 }
 
+// TestCacheHitAcrossDecoders checks that configs differing only in decode
+// parallelism share one cache entry: Decoders is a throughput knob with no
+// effect on results, so the digest strips it and a client that replays a
+// trace with -decoders 8 is served the run another client computed with
+// -decoders 1.
+func TestCacheHitAcrossDecoders(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, CacheDir: t.TempDir()})
+
+	cfg := smallCfg(1)
+	cfg.Decoders = 1
+	j1, err := s.Submit(cfg, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Done()
+	first := s.Snapshot(j1)
+	if first.Status != StatusDone || first.CacheHit {
+		t.Fatalf("first run: %+v", first)
+	}
+
+	cfg.Decoders = 8
+	j2, err := s.Submit(cfg, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j2.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cross-decoders cache hit was not immediate")
+	}
+	second := s.Snapshot(j2)
+	if second.Status != StatusDone || !second.CacheHit {
+		t.Fatalf("run with different Decoders missed the cache: %+v", second)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cached result bytes diverge from the original")
+	}
+}
+
 // TestCoalescing checks that an identical in-flight submission returns the
 // same job instead of queueing a duplicate run.
 func TestCoalescing(t *testing.T) {

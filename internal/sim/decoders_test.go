@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"migratory/internal/trace"
+	"migratory/internal/workload"
+)
+
+// writeV3Trace materializes a workload into an indexed (v3) .mtr file with
+// deliberately small segments, so parallel decode has real structure to
+// chew on even at test-sized trace lengths.
+func writeV3Trace(t *testing.T, app string, nodes, length int) string {
+	t.Helper()
+	prof, err := workload.ProfileByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs, err := workload.Generate(prof, nodes, 1993, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), app+".mtr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriterOptions(f, trace.Header{
+		BlockSize: 16, PageSize: PageSize, Nodes: nodes,
+	}, trace.WriterOptions{SegmentBytes: 4 << 10})
+	if _, err := trace.Copy(w, trace.NewSliceSource(accs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunDecodersEquivalence is the acceptance matrix for parallel segment
+// decode: replaying an indexed trace with concurrent decoders must be
+// bit-identical to the sequential decode, across policies and protocols,
+// both engines, and every sharding width — decode parallelism is a
+// throughput knob, never a semantics knob.
+func TestRunDecodersEquivalence(t *testing.T) {
+	path := writeV3Trace(t, "MP3D", 16, 24_000)
+
+	bases := []RunConfig{
+		{Engine: EngineDirectory, Policy: "conventional"},
+		{Engine: EngineDirectory, Policy: "basic"},
+		{Engine: EngineDirectory, Policy: "aggressive"},
+		{Engine: EngineBus, Protocol: "mesi"},
+		{Engine: EngineBus, Protocol: "adaptive"},
+		{Engine: EngineBus, Protocol: "adaptive-migrate-first"},
+	}
+	for _, base := range bases {
+		base.TraceFile = path
+		name := base.Policy
+		if name == "" {
+			name = base.Protocol
+		}
+		t.Run(base.Engine+"/"+name, func(t *testing.T) {
+			for _, shards := range []int{1, 2, 8} {
+				cfg := base
+				cfg.Shards = shards
+
+				cfg.Decoders = 1 // sequential reference
+				seq, err := Run(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sj, _ := json.Marshal(seq)
+				if seq.Accesses == 0 {
+					t.Fatal("reference run saw no accesses")
+				}
+
+				for _, dec := range []int{4, 0} { // explicit width and auto
+					cfg.Decoders = dec
+					par, err := Run(context.Background(), cfg)
+					if err != nil {
+						t.Fatalf("shards=%d decoders=%d: %v", shards, dec, err)
+					}
+					pj, _ := json.Marshal(par)
+					if string(pj) != string(sj) {
+						t.Fatalf("shards=%d decoders=%d drifted:\n%s\n%s", shards, dec, pj, sj)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDigestDecodersInvariant pins the cache-key contract for the new
+// knob: decode parallelism cannot affect results, so it must not affect
+// the digest either — cohd serves cache hits to clients that only differ
+// in -decoders, and digests minted before the field existed stay valid.
+func TestDigestDecodersInvariant(t *testing.T) {
+	base := RunConfig{Engine: EngineDirectory, Workload: "MP3D", Policy: "basic"}
+	want, err := base.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dec := range []int{0, 1, 8} {
+		cfg := base
+		cfg.Decoders = dec
+		got, err := cfg.Digest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Decoders=%d changed the digest: %s vs %s", dec, got, want)
+		}
+	}
+
+	if err := (RunConfig{Engine: EngineDirectory, Workload: "MP3D", Policy: "basic", Decoders: -1}).Validate(); err == nil {
+		t.Fatal("Validate accepted negative Decoders")
+	}
+}

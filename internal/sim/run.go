@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"migratory/internal/core"
 	"migratory/internal/cost"
@@ -112,6 +113,12 @@ type RunConfig struct {
 	// to a power of two). Results stay bit-identical. The timing engine
 	// rejects sharding.
 	Shards int `json:"shards,omitempty"`
+	// Decoders bounds the parallel trace-decode workers used when the run
+	// reads an indexed (MTR3) trace file: 0 = one per GOMAXPROCS, >= 1
+	// explicit. Results are bit-identical at any setting, so Digest()
+	// ignores the field — the same run caches identically regardless of
+	// decode parallelism.
+	Decoders int `json:"decoders,omitempty"`
 	// TimingParams overrides the DASH-like latency parameters (nil =
 	// timing.DefaultParams). Timing engine only.
 	TimingParams *timing.Params `json:"timing_params,omitempty"`
@@ -210,6 +217,9 @@ func (c RunConfig) Validate() error {
 	if c.Shards < -1 {
 		return fmt.Errorf("sim: bad shard count %d", c.Shards)
 	}
+	if c.Decoders < 0 {
+		return fmt.Errorf("sim: bad decoder count %d (want 0 for auto or >= 1)", c.Decoders)
+	}
 
 	// Cross-engine field discipline: a setting the selected engine would
 	// silently ignore is a config error, not a no-op — silent drift would
@@ -300,6 +310,7 @@ func (c RunConfig) directoryConfig(geom memory.Geometry, pol core.Policy, pl pla
 		FreeDropNotifications: c.FreeDropNotifications,
 		DirPointers:           c.DirPointers,
 		Stats:                 c.Stats,
+		Decoders:              c.resolveDecoders(),
 	}
 }
 
@@ -312,6 +323,7 @@ func (c RunConfig) busConfig(geom memory.Geometry, prot snoop.Protocol) snoop.Co
 		Protocol:   prot,
 		Hysteresis: c.Hysteresis,
 		Stats:      c.Stats,
+		Decoders:   c.resolveDecoders(),
 	}
 }
 
@@ -330,17 +342,14 @@ func (c RunConfig) timingConfig(geom memory.Geometry, pol core.Policy) timing.Co
 }
 
 // openSource opens the config's trace: the in-process factory, the trace
-// file (with prefetch decode), or the named workload generator.
+// file (indexed parallel decode for MTR3, prefetched sequential decode for
+// older versions), or the named workload generator.
 func (c RunConfig) openSource() (trace.Source, error) {
 	switch {
 	case c.OpenSource != nil:
 		return c.OpenSource()
 	case c.TraceFile != "":
-		f, err := trace.OpenFile(c.TraceFile)
-		if err != nil {
-			return nil, err
-		}
-		return trace.NewPrefetchSource(f), nil
+		return trace.OpenFileParallel(c.TraceFile, c.resolveDecoders())
 	default:
 		prof, err := workload.ProfileByName(c.Workload)
 		if err != nil {
@@ -394,6 +403,16 @@ func (c RunConfig) resolveShards() int {
 	return effectiveShards(Options{Shards: c.Shards}, c.CacheBytes, c.BlockSize)
 }
 
+// resolveDecoders maps the config's Decoders to the decode worker count:
+// 0 means one per GOMAXPROCS. Purely a throughput knob — results and
+// Digest() are identical at any setting.
+func (c RunConfig) resolveDecoders() int {
+	if c.Decoders > 0 {
+		return c.Decoders
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // digestVersion prefixes the digest material; bump it whenever a change
 // makes old cached results non-comparable (new semantics for an existing
 // field, a changed default, a different result encoding).
@@ -409,6 +428,10 @@ func (c RunConfig) Digest() (string, error) {
 	if c.OpenSource != nil || c.PlacementPolicy != nil || c.policy != nil {
 		return "", errors.New("sim: config with in-process overrides has no digest")
 	}
+	// Decode parallelism cannot change the result, so it must not change
+	// the cache key: strip it before hashing (omitempty then drops the
+	// field, keeping digests comparable with pre-Decoders caches too).
+	c.Decoders = 0
 	blob, err := json.Marshal(c.withDefaults())
 	if err != nil {
 		return "", err

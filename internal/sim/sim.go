@@ -68,6 +68,11 @@ type Options struct {
 	// so its runs cannot be partitioned. Parallelism composes with Shards
 	// multiplicatively — shards × workers goroutines can be live at once.
 	Shards int
+	// Decoders bounds the parallel trace-decode workers for sharded runs
+	// over indexed (MTR3) trace files (see RunConfig.Decoders): 0 = one per
+	// GOMAXPROCS, >= 1 explicit. Purely a throughput knob; results are
+	// bit-identical at any setting.
+	Decoders int
 	// Probes, when non-nil, is called once per simulation cell to build the
 	// probe that cell's System is instrumented with (a nil return leaves the
 	// cell unprobed). Cells run concurrently on worker goroutines under
@@ -241,6 +246,7 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 		CacheBytes:      cacheBytes,
 		BlockSize:       blockSize,
 		Shards:          shards,
+		Decoders:        opts.Decoders,
 		Probes:          probes,
 		Stats:           opts.Stats,
 		OpenSource:      app.Open,
@@ -505,6 +511,7 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 			Protocol:   p.String(),
 			CacheBytes: cb,
 			Shards:     shards,
+			Decoders:   opts.Decoders,
 			Probes:     probes,
 			Stats:      opts.Stats,
 			OpenSource: app.Open,

@@ -69,6 +69,14 @@ type RunStats struct {
 	// i % MaxQueueShards. With several sharded cells live at once a slot
 	// aggregates across them, which is exactly the total back-pressure on
 	// that shard index.
+	//
+	// Producer contract (single OR multiple producers): a batch is counted
+	// into the gauge strictly before it becomes visible to any consumer,
+	// and decremented exactly once when consumed. Pre-hand-off increments
+	// mean the gauge can momentarily overstate depth, but it can never dip
+	// negative and never double-counts, no matter how producer goroutines
+	// interleave — trace.DemuxStats and trace.DemuxParallel both uphold
+	// this, and TestQueueDepthMultiProducer pins it under -race.
 	QueueDepth [MaxQueueShards]atomic.Int64
 
 	// BytesRead counts compressed trace bytes decoded from .mtr sources,

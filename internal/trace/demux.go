@@ -77,6 +77,13 @@ func Demux(ctx context.Context, src Reader, shards int, withSteps bool,
 // spent blocked on a full shard queue (DemuxStalls / DemuxStallNs) — the
 // live back-pressure signal of a sharded run. A nil stats is exactly
 // Demux: the accounting sits on batch hand-offs, never the per-access loop.
+//
+// QueueDepth follows the multi-producer contract documented on
+// telemetry.RunStats: the increment happens strictly before the batch is
+// visible to a consumer, the decrement exactly once at consumption, so the
+// gauge never dips negative and never double-counts even when several
+// demux pipelines (this one or trace.DemuxParallel's decoder workers)
+// share one RunStats.
 func DemuxStats(ctx context.Context, src Reader, shards int, withSteps bool,
 	stats *telemetry.RunStats, route func(Access) int, consume func(shard int, b ShardBatch) error) error {
 	if shards < 1 {

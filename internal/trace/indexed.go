@@ -1,0 +1,423 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+)
+
+// segBufPool recycles the raw byte buffers segments are read into. All
+// segments of one file are near DefaultSegmentBytes, so the pool converges
+// on uniformly sized buffers.
+var segBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultSegmentBytes+DefaultSegmentBytes/4)
+		return &b
+	},
+}
+
+func getSegBuf(n int64) []byte {
+	b := *segBufPool.Get().(*[]byte)
+	if int64(cap(b)) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+func putSegBuf(b []byte) {
+	b = b[:0]
+	segBufPool.Put(&b)
+}
+
+// readSegment pulls one segment's record bytes through the shared ReaderAt
+// and verifies them against the index entry. The returned buffer comes
+// from segBufPool; return it with putSegBuf.
+func readSegment(r io.ReaderAt, seg Segment) ([]byte, error) {
+	buf := getSegBuf(seg.Len)
+	n, err := r.ReadAt(buf, seg.Off)
+	if err != nil && !(errors.Is(err, io.EOF) && int64(n) == seg.Len) {
+		putSegBuf(buf)
+		return nil, fmt.Errorf("trace: reading segment at %d: %w", seg.Off, coalesceEOF(err))
+	}
+	if err := verifySegment(buf, seg); err != nil {
+		putSegBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// segWindow is one decoded window of a segment, sized by the batch pool.
+type segWindow struct {
+	buf []Access
+	n   int
+}
+
+// decodeSegmentWindows decodes a whole segment into pooled
+// DefaultBatchSize windows.
+func decodeSegmentWindows(r io.ReaderAt, seg Segment, nodes int) ([]segWindow, error) {
+	data, err := readSegment(r, seg)
+	if err != nil {
+		return nil, err
+	}
+	defer putSegBuf(data)
+	dec := newSegmentDecoder(data, seg, nodes)
+	wins := make([]segWindow, 0, int(seg.Count)/DefaultBatchSize+1)
+	for dec.left > 0 {
+		buf := GetBatch()
+		n, err := dec.next(buf)
+		if err != nil {
+			PutBatch(buf)
+			for _, w := range wins {
+				PutBatch(w.buf)
+			}
+			return nil, err
+		}
+		wins = append(wins, segWindow{buf: buf, n: n})
+	}
+	// dec.left reached zero inside next, which also verified no bytes
+	// trail the final record; a lying count with spare bytes errors there.
+	return wins, nil
+}
+
+// segEntry is one decoded segment queued for in-order delivery.
+type segEntry struct {
+	wins []segWindow
+	err  error
+}
+
+// segPipe is the parallel decode pipeline behind IndexedFileSource's
+// sequential face: workers claim segments in file order, decode them
+// concurrently through the shared io.ReaderAt, and publish the results
+// into a reorder buffer the consumer drains strictly in segment order. A
+// slot semaphore bounds decoded-but-unconsumed segments, so a slow
+// consumer applies backpressure instead of the pipeline buffering the
+// whole file.
+type segPipe struct {
+	r     io.ReaderAt
+	idx   *Index
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready map[int]segEntry
+	next  int // next segment the consumer needs
+	claim int // next segment a worker will take (guarded by mu)
+	stop  bool
+	stopC chan struct{}
+	slots chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newSegPipe(r io.ReaderAt, idx *Index, workers int) *segPipe {
+	if workers > len(idx.Segments) {
+		workers = len(idx.Segments)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &segPipe{
+		r:     r,
+		idx:   idx,
+		ready: make(map[int]segEntry),
+		stopC: make(chan struct{}),
+		slots: make(chan struct{}, workers+2),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *segPipe) worker() {
+	defer p.wg.Done()
+	for {
+		// Hold a slot before claiming, so every claimed segment is
+		// guaranteed to publish: the in-order consumer always finds its
+		// next segment either ready or on a slotted worker.
+		select {
+		case p.slots <- struct{}{}:
+		case <-p.stopC:
+			return
+		}
+		p.mu.Lock()
+		if p.stop || p.claim >= len(p.idx.Segments) {
+			p.mu.Unlock()
+			<-p.slots
+			return
+		}
+		i := p.claim
+		p.claim++
+		p.mu.Unlock()
+
+		wins, err := decodeSegmentWindows(p.r, p.idx.Segments[i], p.idx.Header.Nodes)
+		p.mu.Lock()
+		if p.stop {
+			p.mu.Unlock()
+			for _, w := range wins {
+				PutBatch(w.buf)
+			}
+			<-p.slots
+			return
+		}
+		p.ready[i] = segEntry{wins: wins, err: err}
+		if err != nil {
+			// Decode failures surface to the consumer in order; segments
+			// past the bad one would be wasted work.
+			p.claim = len(p.idx.Segments)
+		}
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// nextSegment blocks until the next in-order segment is decoded and
+// returns its windows. It returns io.EOF after the final segment and the
+// decode error of the first bad segment.
+func (p *segPipe) nextSegment() ([]segWindow, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.next >= len(p.idx.Segments) {
+		return nil, io.EOF
+	}
+	for {
+		if p.stop {
+			return nil, io.EOF
+		}
+		if e, ok := p.ready[p.next]; ok {
+			delete(p.ready, p.next)
+			p.next++
+			<-p.slots
+			return e.wins, e.err
+		}
+		p.cond.Wait()
+	}
+}
+
+// halt stops the workers, waits them out, and recycles every buffer still
+// queued. After halt the pipe is inert.
+func (p *segPipe) halt() {
+	p.mu.Lock()
+	if !p.stop {
+		p.stop = true
+		close(p.stopC)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	for i, e := range p.ready {
+		for _, w := range e.wins {
+			PutBatch(w.buf)
+		}
+		delete(p.ready, i)
+	}
+}
+
+// IndexedFileSource is a Source decoding an MTR3 trace through its segment
+// index: up to Decoders goroutines decode segments concurrently via a
+// shared io.ReaderAt, and the Source face reassembles them in segment
+// order, so consumers see exactly the sequential access stream — the
+// parallel successor of PrefetchSource's single decode-ahead goroutine.
+//
+// The decode pipeline starts lazily at the first read, and Reset returns
+// the source to the unstarted state, so a source that is handed to the
+// sharded demux (DemuxParallel, which reads segments itself and never
+// touches the sequential face) costs nothing here.
+//
+// Like every Source, an IndexedFileSource is driven by one consumer
+// goroutine at a time.
+type IndexedFileSource struct {
+	r        io.ReaderAt
+	closer   io.Closer
+	idx      *Index
+	decoders int
+
+	pipe *segPipe
+	wins []segWindow
+	cur  []Access
+	pos  int
+	err  error
+}
+
+// NewIndexedSource builds an IndexedFileSource over any io.ReaderAt (which
+// must be safe for concurrent ReadAt, as *os.File and *bytes.Reader are).
+// size is the total trace length in bytes. decoders bounds the concurrent
+// segment decoders; 0 means GOMAXPROCS. MTR1/MTR2 input fails with
+// ErrNoIndex; use FileSource for those.
+func NewIndexedSource(r io.ReaderAt, size int64, decoders int) (*IndexedFileSource, error) {
+	idx, err := ReadIndex(r, size)
+	if err != nil {
+		return nil, err
+	}
+	if decoders <= 0 {
+		decoders = runtime.GOMAXPROCS(0)
+	}
+	return &IndexedFileSource{r: r, idx: idx, decoders: decoders}, nil
+}
+
+// OpenIndexedFile opens path as an IndexedFileSource. The caller must
+// Close it. Non-MTR3 traces fail with ErrNoIndex.
+func OpenIndexedFile(path string, decoders int) (*IndexedFileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src, err := NewIndexedSource(f, fi.Size(), decoders)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src.closer = f
+	return src, nil
+}
+
+// OpenFileParallel opens path with the best decode pipeline its format
+// supports: MTR3 files get an IndexedFileSource with up to decoders
+// (0 = GOMAXPROCS) concurrent segment decoders, while MTR1/MTR2 files fall
+// back to sequential decode behind a prefetch goroutine. This is how the
+// CLIs and sim.Run open -trace files; a v3 file with a damaged index fails
+// loudly here rather than silently degrading to the sequential path.
+func OpenFileParallel(path string, decoders int) (Source, error) {
+	src, err := OpenIndexedFile(path, decoders)
+	if err == nil {
+		return src, nil
+	}
+	if !errors.Is(err, ErrNoIndex) {
+		return nil, err
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewPrefetchSource(fs), nil
+}
+
+// Header returns the trace geometry header.
+func (s *IndexedFileSource) Header() Header { return s.idx.Header }
+
+// Index returns the decoded segment index. The caller must not mutate it.
+func (s *IndexedFileSource) Index() *Index { return s.idx }
+
+// Decoders returns the configured decoder-goroutine bound.
+func (s *IndexedFileSource) Decoders() int { return s.decoders }
+
+// started reports whether the sequential decode pipeline is running (the
+// source is mid-stream). DemuxParallel uses it to keep off the segment
+// table while the sequential face owns the stream position.
+func (s *IndexedFileSource) started() bool { return s.pipe != nil }
+
+// advance recycles the drained window and installs the next one, starting
+// the pipeline on first use.
+func (s *IndexedFileSource) advance() error {
+	if s.cur != nil {
+		PutBatch(s.cur)
+		s.cur = nil
+		s.pos = 0
+	}
+	for {
+		if s.err != nil {
+			return s.err
+		}
+		if len(s.wins) == 0 {
+			if s.pipe == nil {
+				s.pipe = newSegPipe(s.r, s.idx, s.decoders)
+			}
+			wins, err := s.pipe.nextSegment()
+			if err != nil {
+				s.err = err
+				for _, w := range wins {
+					PutBatch(w.buf)
+				}
+				return err
+			}
+			s.wins = wins
+			continue
+		}
+		w := s.wins[0]
+		s.wins = s.wins[1:]
+		if w.n > 0 {
+			s.cur = w.buf[:w.n]
+			s.pos = 0
+			return nil
+		}
+		PutBatch(w.buf)
+	}
+}
+
+// Next implements Source.
+func (s *IndexedFileSource) Next() (Access, error) {
+	if s.pos >= len(s.cur) {
+		if err := s.advance(); err != nil {
+			return Access{}, err
+		}
+	}
+	a := s.cur[s.pos]
+	s.pos++
+	return a, nil
+}
+
+// NextBatch implements BatchReader.
+func (s *IndexedFileSource) NextBatch(buf []Access) (int, error) {
+	if s.pos >= len(s.cur) {
+		if err := s.advance(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(buf, s.cur[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// drain quiesces the pipeline and recycles every in-flight buffer.
+func (s *IndexedFileSource) drain() {
+	if s.pipe != nil {
+		s.pipe.halt()
+		s.pipe = nil
+	}
+	for _, w := range s.wins {
+		PutBatch(w.buf)
+	}
+	s.wins = nil
+	if s.cur != nil {
+		PutBatch(s.cur)
+		s.cur = nil
+	}
+	s.pos = 0
+	s.err = nil
+}
+
+// Reset implements Source, returning to the first access with the
+// pipeline unstarted (it relaunches lazily at the next read).
+func (s *IndexedFileSource) Reset() error {
+	s.drain()
+	return nil
+}
+
+// Close implements Source, closing the underlying file when the source
+// was opened by OpenIndexedFile.
+func (s *IndexedFileSource) Close() error {
+	s.drain()
+	s.err = io.EOF
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// SegmentSource reports the segment layout of a source that can decode
+// segments independently. The demux stage uses it to route per-segment
+// batches straight to shard queues (DemuxParallel) without a serial
+// producer. It is implemented by IndexedFileSource.
+type SegmentSource interface {
+	Source
+	Index() *Index
+}
+
+var _ SegmentSource = (*IndexedFileSource)(nil)

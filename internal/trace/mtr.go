@@ -24,13 +24,20 @@ package trace
 // ErrTruncated.
 //
 // The version-1 format (fixed-width records behind an up-front count, see
-// trace.go) remains readable: Decoder and FileSource accept either magic.
+// trace.go) remains readable: Decoder and FileSource accept any of the
+// three magics. Version 3 ("MTR3", see index.go) keeps this record stream
+// byte for byte and appends a segment index + footer after the trailer, so
+// segments can be decoded independently and in parallel; the sequential
+// decoder here reads v3 exactly like v2 and then validates the index
+// structurally.
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -70,8 +77,21 @@ func (h Header) Geometry() (memory.Geometry, bool) {
 	return g, true
 }
 
-// Writer encodes accesses to the MTR2 format. Close must be called to emit
-// the trailer; a stream without it reads back as ErrTruncated.
+// WriterOptions selects the output format of a Writer.
+type WriterOptions struct {
+	// Version is the trace format version: 0 (the latest, currently 3), 2,
+	// or 3. Version 2 omits the segment index, for readers predating it.
+	Version int
+	// SegmentBytes is the target encoded size of one segment (0 =
+	// DefaultSegmentBytes). Version 3 only. Segments close at the first
+	// record boundary at or past the target, so a segment can exceed it by
+	// one record's encoding.
+	SegmentBytes int
+}
+
+// Writer encodes accesses to the MTR3 format (or MTR2 on request). Close
+// must be called to emit the trailer — and, for v3, the segment index and
+// footer; a stream without them reads back as ErrTruncated.
 type Writer struct {
 	bw     *bufio.Writer
 	hdr    Header
@@ -79,34 +99,89 @@ type Writer struct {
 	count  uint64
 	err    error
 	closed bool
+
+	// v3 segmenting state. off tracks the file offset of every emitted
+	// byte; while inSeg, record bytes also feed the running segment CRC.
+	version  int
+	segBytes int64
+	off      int64
+	inSeg    bool
+	seg      Segment
+	crc      uint32
+	segs     []Segment
 }
 
-// NewWriter returns a Writer emitting to w. The header is written
-// immediately. Header fields may be zero (unspecified), but a negative
-// field or a Nodes beyond memory.MaxNodes is rejected at the first Write.
+// NewWriter returns a Writer emitting to w in the latest format version
+// with default segmenting. The header is written immediately. Header
+// fields may be zero (unspecified), but a negative field or a Nodes beyond
+// memory.MaxNodes is rejected at the first Write.
 func NewWriter(w io.Writer, hdr Header) *Writer {
+	return NewWriterOptions(w, hdr, WriterOptions{})
+}
+
+// NewWriterOptions is NewWriter with an explicit format version and
+// segment target (the tracegen -mtr-version escape hatch).
+func NewWriterOptions(w io.Writer, hdr Header, opts WriterOptions) *Writer {
 	tw := &Writer{bw: bufio.NewWriter(w), hdr: hdr}
+	switch opts.Version {
+	case 0, 3:
+		tw.version = 3
+	case 2:
+		tw.version = 2
+	default:
+		tw.err = fmt.Errorf("trace: unsupported writer format version %d (want 2 or 3)", opts.Version)
+		return tw
+	}
+	tw.segBytes = int64(opts.SegmentBytes)
+	if tw.segBytes <= 0 {
+		tw.segBytes = DefaultSegmentBytes
+	}
 	if hdr.BlockSize < 0 || hdr.PageSize < 0 || hdr.Nodes < 0 || hdr.Nodes > memory.MaxNodes {
 		tw.err = fmt.Errorf("trace: invalid header %+v", hdr)
 		return tw
 	}
-	if _, err := tw.bw.Write(magic2[:]); err != nil {
-		tw.err = err
-		return tw
+	m := magic2
+	if tw.version == 3 {
+		m = magic3
 	}
+	tw.emit(m[:])
 	tw.putUvarint(uint64(hdr.BlockSize))
 	tw.putUvarint(uint64(hdr.PageSize))
 	tw.putUvarint(uint64(hdr.Nodes))
 	return tw
 }
 
-func (w *Writer) putUvarint(v uint64) {
+// emit writes p, advancing the offset tracker and, inside a segment, the
+// segment CRC.
+func (w *Writer) emit(p []byte) {
 	if w.err != nil {
 		return
 	}
+	if _, err := w.bw.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.off += int64(len(p))
+	if w.inSeg {
+		w.crc = crc32.Update(w.crc, crc32.IEEETable, p)
+	}
+}
+
+func (w *Writer) putUvarint(v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	_, w.err = w.bw.Write(buf[:n])
+	w.emit(buf[:n])
+}
+
+// closeSegment finishes the in-progress segment and files its index entry.
+func (w *Writer) closeSegment() {
+	if !w.inSeg {
+		return
+	}
+	w.seg.Len = w.off - w.seg.Off
+	w.seg.CRC = w.crc
+	w.segs = append(w.segs, w.seg)
+	w.inSeg = false
 }
 
 // Write appends one access to the stream.
@@ -126,16 +201,30 @@ func (w *Writer) Write(a Access) error {
 		w.err = fmt.Errorf("trace: access node %d outside header node count %d", a.Node, w.hdr.Nodes)
 		return w.err
 	}
+	if w.version == 3 && !w.inSeg {
+		// Open a segment at the current record boundary. StartAddr is the
+		// running delta base, so an indexed reader can decode the segment
+		// without replaying anything before it.
+		w.seg = Segment{Off: w.off, StartAddr: w.prev, StartIndex: w.count}
+		w.crc = 0
+		w.inSeg = true
+	}
 	w.putUvarint((uint64(a.Node)<<1 | uint64(a.Kind)) + 1)
 	delta := int64(a.Addr) - int64(w.prev)
 	w.putUvarint(uint64(delta<<1) ^ uint64(delta>>63)) // zigzag
 	w.prev = a.Addr
 	w.count++
+	if w.inSeg {
+		w.seg.Count++
+		if w.off-w.seg.Off >= w.segBytes {
+			w.closeSegment()
+		}
+	}
 	return w.err
 }
 
-// Close writes the trailer and flushes. It does not close the underlying
-// io.Writer.
+// Close writes the trailer — and, for v3, the segment index and footer —
+// then flushes. It does not close the underlying io.Writer.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
@@ -144,11 +233,27 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	if err := w.bw.WriteByte(0); err != nil {
-		w.err = err
-		return err
-	}
+	w.closeSegment()
+	w.emit([]byte{0})
 	w.putUvarint(w.count)
+	if w.version == 3 {
+		indexOff := w.off
+		body := make([]byte, 0, 16+len(w.segs)*5*binary.MaxVarintLen64/2)
+		body = binary.AppendUvarint(body, uint64(len(w.segs)))
+		for _, s := range w.segs {
+			body = binary.AppendUvarint(body, uint64(s.Off))
+			body = binary.AppendUvarint(body, uint64(s.Len))
+			body = binary.AppendUvarint(body, s.Count)
+			body = binary.AppendUvarint(body, uint64(s.StartAddr))
+			body = binary.AppendUvarint(body, uint64(s.CRC))
+		}
+		w.emit(body)
+		var foot [footerSize]byte
+		binary.LittleEndian.PutUint64(foot[0:8], uint64(indexOff))
+		binary.LittleEndian.PutUint32(foot[8:12], crc32.ChecksumIEEE(body))
+		copy(foot[12:16], footerMagic[:])
+		w.emit(foot[:])
+	}
 	if w.err != nil {
 		return w.err
 	}
@@ -176,12 +281,17 @@ func Copy(w *Writer, r Reader) (int, error) {
 	}
 }
 
-// Decoder streams accesses out of a binary trace (MTR2 or the legacy MTR1
-// format) with O(1) memory.
+// Decoder streams accesses out of a binary trace (MTR3, MTR2, or the
+// legacy MTR1 format) with O(1) record-decode state. MTR3 input decodes
+// sequentially here — the segment index after the trailer is validated
+// structurally, then discarded; IndexedFileSource is the reader that puts
+// it to work.
 type Decoder struct {
 	br        *bufio.Reader
 	hdr       Header
 	legacy    bool   // MTR1 input
+	indexed   bool   // MTR3 input: a segment index follows the trailer
+	idxOK     bool   // MTR3 index already validated once on this stream
 	remaining uint64 // MTR1: records left
 	prev      memory.Addr
 	count     uint64
@@ -213,12 +323,14 @@ func (d *Decoder) init() error {
 	d.br.Discard(4)
 	d.hdr = Header{}
 	d.legacy = false
+	d.indexed = false
 	d.remaining = 0
 	d.prev = 0
 	d.count = 0
 	d.done = false
 	switch m {
-	case magic2:
+	case magic2, magic3:
+		d.indexed = m == magic3
 		bs, err := d.uvarint("header block size")
 		if err != nil {
 			return err
@@ -289,7 +401,9 @@ func (d *Decoder) recordErr(what string, err error) error {
 }
 
 // finishTrailer validates the count trailer after the 0x00 terminator and
-// demands a clean EOF. On success it marks the decoder done.
+// demands a clean EOF — except for MTR3 input, where the segment index and
+// footer legitimately follow and are validated instead. On success it
+// marks the decoder done.
 func (d *Decoder) finishTrailer() error {
 	n, err := d.uvarint("trailer count")
 	if err != nil {
@@ -298,12 +412,75 @@ func (d *Decoder) finishTrailer() error {
 	if n != d.count {
 		return fmt.Errorf("trace: trailer count %d != %d records decoded: %w", n, d.count, ErrCorrupt)
 	}
+	if d.indexed {
+		if err := d.finishIndex(); err != nil {
+			return err
+		}
+		d.done = true
+		return nil
+	}
 	if _, err := d.br.ReadByte(); err == nil {
 		return fmt.Errorf("trace: trailing bytes after trailer: %w", ErrCorrupt)
 	} else if !errors.Is(err, io.EOF) {
 		return err
 	}
 	d.done = true
+	return nil
+}
+
+// finishIndex consumes and validates the MTR3 segment index and footer
+// that trail the record stream, so a sequential decode of a v3 file keeps
+// the "every truncation or corruption is detected" property end to end.
+// The stream gives no random access, so the validation is structural: the
+// footer magic and index CRC must check out, the entries must parse, tile
+// the record region for this header, and sum to the count just verified.
+//
+// The validation result is sticky: when a FileSource resets and replays the
+// same bytes, later passes discard the tail without re-parsing it, keeping
+// the steady-state Reset+drain loop allocation-free.
+func (d *Decoder) finishIndex() error {
+	if d.idxOK {
+		if _, err := io.Copy(io.Discard, d.br); err != nil {
+			return fmt.Errorf("trace: reading segment index: %w", err)
+		}
+		return nil
+	}
+	rest, err := io.ReadAll(io.LimitReader(d.br, maxIndexBytes+1))
+	if err != nil {
+		return fmt.Errorf("trace: reading segment index: %w", err)
+	}
+	if len(rest) > maxIndexBytes {
+		return fmt.Errorf("trace: implausible %d-byte segment index: %w", len(rest), ErrCorrupt)
+	}
+	if len(rest) < footerSize+1 {
+		return fmt.Errorf("trace: %d bytes after trailer (want segment index + footer): %w", len(rest), ErrTruncated)
+	}
+	foot := rest[len(rest)-footerSize:]
+	if *(*[4]byte)(foot[12:16]) != footerMagic {
+		// A footer magic somewhere inside the tail but not at the very end
+		// means the writer finished and something appended bytes after it;
+		// no magic at all means the file was cut mid-index.
+		if i := bytes.LastIndex(rest, footerMagic[:]); i >= 0 {
+			return fmt.Errorf("trace: %d trailing bytes after MTR3 footer: %w", len(rest)-i-len(footerMagic), ErrCorrupt)
+		}
+		return fmt.Errorf("trace: missing MTR3 footer magic (file cut before the index was written): %w", ErrTruncated)
+	}
+	body := rest[:len(rest)-footerSize]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(foot[8:12]); got != want {
+		return fmt.Errorf("trace: segment index crc %#x != footer %#x: %w", got, want, ErrCorrupt)
+	}
+	indexOff := binary.LittleEndian.Uint64(foot[0:8])
+	if indexOff > 1<<62 {
+		return fmt.Errorf("trace: footer index offset %#x out of range: %w", indexOff, ErrCorrupt)
+	}
+	_, total, err := parseIndexEntries(body, d.hdr.headerEnd(), int64(indexOff))
+	if err != nil {
+		return err
+	}
+	if total != d.count {
+		return fmt.Errorf("trace: segment index total %d != %d records decoded: %w", total, d.count, ErrCorrupt)
+	}
+	d.idxOK = true
 	return nil
 }
 
@@ -458,10 +635,12 @@ func (d *Decoder) nextLegacy() (Access, error) {
 	}, nil
 }
 
-// FileSource is a Source decoding a binary trace (MTR1 or MTR2) from a
-// seekable stream, typically a file. Reset seeks back to the start and
-// re-reads the header, so the two-pass placement/simulation workflow works
-// without ever materializing the trace.
+// FileSource is a Source decoding a binary trace (MTR1, MTR2, or MTR3 —
+// the latter sequentially, ignoring its segment index) from a seekable
+// stream, typically a file. Reset seeks back to the start and re-reads the
+// header, so the two-pass placement/simulation workflow works without ever
+// materializing the trace. For parallel segment decode of MTR3 files, see
+// IndexedFileSource and OpenFileParallel.
 type FileSource struct {
 	r      io.ReadSeeker
 	dec    *Decoder

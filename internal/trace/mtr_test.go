@@ -122,7 +122,18 @@ func TestMTRCorrupt(t *testing.T) {
 	})
 
 	t.Run("wrong trailer count", func(t *testing.T) {
-		data := append([]byte{}, valid...)
+		// A v2 image, whose final byte IS the trailer count; in v3 the
+		// trailer sits before the index and the cross-check is exercised by
+		// the index tests.
+		var buf bytes.Buffer
+		w := NewWriterOptions(&buf, Header{Nodes: 4}, WriterOptions{Version: 2})
+		if err := w.Write(Access{Node: 1, Kind: Write, Addr: 64}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
 		data[len(data)-1] = 7 // trailer says 7 records, stream has 1
 		src, err := NewFileSource(bytes.NewReader(data))
 		if err == nil {

@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"migratory/internal/telemetry"
+)
+
+// DemuxParallel is the multi-producer successor of DemuxStats for sources
+// that carry a segment index: decoders goroutines decode segments
+// concurrently, route each segment's accesses into per-shard batches, and
+// hand the routed batches straight to the shard consumers — the serial
+// decode-and-route producer of DemuxStats disappears entirely. Per-shard
+// delivery stays in segment order (a per-shard reorder buffer releases
+// segment k's batches only after k-1's), and global access indices are
+// stamped from each segment's StartIndex, so counters, histograms, and
+// probe-visible step arithmetic are bit-identical to the single-producer
+// path and to a fully sequential run.
+//
+// Sources without an index (v1/v2 files, slices, generators, prefetch
+// wrappers), decoders <= 1, single-shard runs, and indexed sources that
+// already started sequential decode all fall back to DemuxStats — same
+// contract, one producer. An indexed source handled here must be
+// positioned at the start (freshly opened or Reset), which RunSource
+// callers guarantee.
+//
+// Telemetry accounting matches DemuxStats' multi-producer contract (see
+// telemetry.RunStats): every producer increments QueueDepth before its
+// batches become visible to a consumer, so the gauge never dips negative
+// no matter how many producers race. DemuxStalls/DemuxStallNs stay near
+// zero on this path by construction: they measure a producer blocked on
+// one full shard queue while the other shards starve, and with no serial
+// producer that head-of-line stall no longer exists — a decoder waiting on
+// the bounded in-flight budget is spare capacity (every decoded segment is
+// already published to all shards), not a pipeline stall. The collapse of
+// DemuxStallNs relative to DemuxStats on the same run is the signature of
+// retiring the single producer.
+//
+// The error precedence matches DemuxStats: context cancellation, then the
+// lowest-numbered shard's consume error, then the source (decode) error.
+func DemuxParallel(ctx context.Context, src Source, decoders, shards int, withSteps bool,
+	stats *telemetry.RunStats, route func(Access) int, consume func(shard int, b ShardBatch) error) error {
+	ifs, ok := src.(*IndexedFileSource)
+	if ok && decoders <= 0 {
+		decoders = ifs.Decoders() // 0 means "use the source's configured width"
+	}
+	if !ok || decoders <= 1 || shards < 2 || ifs.started() || len(ifs.idx.Segments) < 2 {
+		return DemuxStats(ctx, src, shards, withSteps, stats, route, consume)
+	}
+	return demuxSegments(ctx, ifs, decoders, shards, withSteps, stats, route, consume)
+}
+
+// segDelivery is one segment's routed batches for one shard, queued in the
+// shard's reorder buffer.
+type segDelivery struct {
+	batches []ShardBatch
+	err     error
+}
+
+// demuxSegments runs the no-producer sharded pipeline over an indexed
+// source.
+func demuxSegments(ctx context.Context, src *IndexedFileSource, decoders, shards int, withSteps bool,
+	stats *telemetry.RunStats, route func(Access) int, consume func(shard int, b ShardBatch) error) error {
+	segs := src.idx.Segments
+	nodes := src.idx.Header.Nodes
+	workers := decoders
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		ready   = make([]map[int]segDelivery, shards) // per-shard reorder buffers
+		refs    = make(map[int]int)                   // per-segment shards still to consume it
+		claim   int
+		stopped bool
+	)
+	for s := range ready {
+		ready[s] = make(map[int]segDelivery)
+	}
+	stopC := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() {
+		stopOnce.Do(func() { close(stopC) })
+		mu.Lock()
+		stopped = true
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	// slots bounds decoded-but-unconsumed segments; a worker holds one from
+	// claim to the last shard's consumption of its segment.
+	slots := make(chan struct{}, workers+2)
+
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+		watch := make(chan struct{})
+		defer close(watch)
+		go func() {
+			select {
+			case <-ctxDone:
+				halt()
+			case <-stopC:
+			case <-watch:
+			}
+		}()
+	}
+
+	// Decoder workers: claim a segment, decode and route it, publish the
+	// per-shard batches into the reorder buffers.
+	var wgW sync.WaitGroup
+	wgW.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wgW.Done()
+			for {
+				// Waiting here is spare decode capacity under backpressure,
+				// not a head-of-line stall (see the DemuxParallel doc), so it
+				// is deliberately not charged to DemuxStalls/DemuxStallNs.
+				select {
+				case slots <- struct{}{}:
+				case <-stopC:
+					return
+				}
+				mu.Lock()
+				if stopped || claim >= len(segs) {
+					mu.Unlock()
+					<-slots
+					return
+				}
+				i := claim
+				claim++
+				mu.Unlock()
+
+				out, derr := routeSegment(src.r, segs[i], nodes, shards, withSteps, route)
+				if derr != nil {
+					// Stop claiming past the first bad segment; consumers
+					// surface the error when they reach it in order.
+					mu.Lock()
+					claim = len(segs)
+					mu.Unlock()
+				}
+				total := 0
+				if stats != nil {
+					// Pre-hand-off accounting: the batches are counted in
+					// flight before any consumer can see them, so the gauge
+					// cannot dip negative however the producers interleave.
+					for s := 0; s < shards; s++ {
+						if n := len(out[s]); n > 0 {
+							stats.QueueDepth[s%telemetry.MaxQueueShards].Add(int64(n))
+							total += n
+						}
+					}
+				}
+				mu.Lock()
+				if stopped {
+					mu.Unlock()
+					if stats != nil {
+						for s := 0; s < shards; s++ {
+							if n := len(out[s]); n > 0 {
+								stats.QueueDepth[s%telemetry.MaxQueueShards].Add(-int64(n))
+							}
+						}
+					}
+					for s := 0; s < shards; s++ {
+						for _, b := range out[s] {
+							putShardBatch(b)
+						}
+					}
+					<-slots
+					return
+				}
+				refs[i] = shards
+				for s := 0; s < shards; s++ {
+					ready[s][i] = segDelivery{batches: out[s], err: derr}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+				if stats != nil && total > 0 {
+					stats.DemuxBatches.Add(uint64(total))
+				}
+			}
+		}()
+	}
+
+	// Shard consumers: drain the reorder buffer strictly in segment order.
+	consumeErrs := make([]error, shards)
+	srcErrs := make([]error, shards)
+	var wgC sync.WaitGroup
+	wgC.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func(shard int) {
+			defer wgC.Done()
+			for i := 0; i < len(segs); i++ {
+				mu.Lock()
+				for {
+					if stopped {
+						mu.Unlock()
+						return
+					}
+					if _, ok := ready[shard][i]; ok {
+						break
+					}
+					cond.Wait()
+				}
+				d := ready[shard][i]
+				delete(ready[shard], i)
+				mu.Unlock()
+
+				if d.err != nil {
+					srcErrs[shard] = d.err
+					halt()
+					return
+				}
+				for _, b := range d.batches {
+					if stats != nil {
+						stats.QueueDepth[shard%telemetry.MaxQueueShards].Add(-1)
+					}
+					if consumeErrs[shard] == nil {
+						if err := consume(shard, b); err != nil {
+							consumeErrs[shard] = err
+							halt()
+						}
+					}
+					putShardBatch(b)
+				}
+				mu.Lock()
+				refs[i]--
+				if refs[i] == 0 {
+					delete(refs, i)
+					<-slots
+				}
+				done := consumeErrs[shard] != nil
+				mu.Unlock()
+				if done {
+					return
+				}
+			}
+		}(s)
+	}
+
+	wgC.Wait()
+	halt()
+	wgW.Wait()
+
+	// Recycle anything published but never consumed (error or cancel path).
+	mu.Lock()
+	for s := range ready {
+		for i, d := range ready[s] {
+			if stats != nil {
+				if n := len(d.batches); n > 0 {
+					stats.QueueDepth[s%telemetry.MaxQueueShards].Add(-int64(n))
+				}
+			}
+			for _, b := range d.batches {
+				putShardBatch(b)
+			}
+			delete(ready[s], i)
+		}
+	}
+	mu.Unlock()
+
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	for _, err := range consumeErrs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, err := range srcErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routeSegment decodes one segment and routes its accesses into per-shard
+// batches, stamping global step indices from the segment's StartIndex when
+// asked. The returned slice has one batch list per shard.
+func routeSegment(r io.ReaderAt, seg Segment, nodes, shards int, withSteps bool,
+	route func(Access) int) ([][]ShardBatch, error) {
+	out := make([][]ShardBatch, shards)
+	data, err := readSegment(r, seg)
+	if err != nil {
+		return out, err
+	}
+	defer putSegBuf(data)
+
+	pending := make([]ShardBatch, shards)
+	newPending := func() ShardBatch {
+		b := ShardBatch{Accs: GetBatch()[:0]}
+		if withSteps {
+			b.Steps = getSteps()
+		}
+		return b
+	}
+	for i := range pending {
+		pending[i] = newPending()
+	}
+	fail := func(err error) ([][]ShardBatch, error) {
+		for i := range pending {
+			putShardBatch(pending[i])
+		}
+		for s := range out {
+			for _, b := range out[s] {
+				putShardBatch(b)
+			}
+			out[s] = nil
+		}
+		return out, err
+	}
+
+	dec := newSegmentDecoder(data, seg, nodes)
+	buf := GetBatch()
+	step := seg.StartIndex
+	for dec.left > 0 {
+		n, err := dec.next(buf)
+		if err != nil {
+			PutBatch(buf)
+			return fail(err)
+		}
+		for _, a := range buf[:n] {
+			shard := route(a)
+			p := &pending[shard]
+			p.Accs = append(p.Accs, a)
+			if withSteps {
+				p.Steps = append(p.Steps, step)
+			}
+			step++
+			if len(p.Accs) == DefaultBatchSize {
+				out[shard] = append(out[shard], *p)
+				*p = newPending()
+			}
+		}
+	}
+	PutBatch(buf)
+	for i := range pending {
+		if len(pending[i].Accs) > 0 {
+			out[i] = append(out[i], pending[i])
+		} else {
+			putShardBatch(pending[i])
+		}
+	}
+	return out, nil
+}
