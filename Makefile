@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vuln bench bench-check fuzz ci inspect-demo profile apidiff serve-smoke
+.PHONY: build test test-shuffle race vet vuln bench bench-check cover fuzz ci inspect-demo profile apidiff serve-smoke
 
 # Seconds of fuzzing per target in `make fuzz` (kept short for CI).
 FUZZTIME ?= 10s
@@ -27,7 +27,7 @@ bench:
 # (results/bench_baseline.json), failing on regression beyond tolerance.
 # The benchmarks refresh the sweep file as a side effect of running.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead|BenchmarkShardedTable2|BenchmarkPrefetchMTR|BenchmarkParallelDecodeMTR|BenchmarkTelemetryOverhead' -benchtime 10x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchedTable2|BenchmarkBatchedBus|BenchmarkProbeOverhead|BenchmarkShardedTable2|BenchmarkPrefetchMTR|BenchmarkParallelDecodeMTR|BenchmarkTelemetryOverhead|BenchmarkSegmentCacheSweep|BenchmarkCohdHotTrace' -benchtime 10x -benchmem .
 	$(GO) run ./cmd/benchcheck
 
 # Known-vulnerability scan of the module and its (stdlib-only) dependency
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchBoundary$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzShardDemux$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentIndex$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentCacheKey$$' -fuzztime $(FUZZTIME) .
 
 # Exported-API compatibility gate: compares the root package against
 # APIDIFF_BASE (default HEAD~1) with golang.org/x/exp/cmd/apidiff, failing
@@ -66,7 +67,21 @@ apidiff:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/cohd
 
-ci: build vet test race
+# Shuffled test order surfaces inter-test state leaks (shared caches,
+# leftover telemetry registrations); CI runs the suite this way.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
+# Coverage profile plus a per-function summary; CI uploads the directory
+# as a build artifact. The last line printed is the total.
+COVER_DIR ?= results/coverage
+cover:
+	mkdir -p $(COVER_DIR)
+	$(GO) test -coverprofile=$(COVER_DIR)/coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=$(COVER_DIR)/coverage.out > $(COVER_DIR)/coverage.txt
+	@tail -n 1 $(COVER_DIR)/coverage.txt
+
+ci: build vet test-shuffle race
 
 # Profile the Table 2 sweep hot loop: run migsim under the CPU and heap
 # profilers and print the top CPU consumers. Open the .pprof files with

@@ -494,6 +494,37 @@ func OpenIndexedTraceFile(path string, decoders int) (TraceSource, error) {
 	return trace.OpenFileParallel(path, decoders)
 }
 
+// TraceSegmentCache is a process-wide, memory-bounded, ref-counted LRU of
+// decoded .mtr segments keyed by file identity (dev/ino + size + mtime) and
+// segment index. Concurrent readers wanting the same segment decode it once
+// (single-flight) and share one immutable slab, so sweeps that replay one
+// trace across many cells — and cohd serving many requests over a hot
+// trace — skip redundant decode work. It only engages for indexed (v3)
+// files opened by path; v1/v2 and in-memory sources bypass it. Replay is
+// bit-identical with or without the cache. Set it on Options.Cache /
+// RunConfig.Cache, or pass it to OpenIndexedTraceFileCache.
+type TraceSegmentCache = trace.SegmentCache
+
+// DefaultTraceCacheBytes is the default segment-cache capacity the CLI
+// tools use for -trace-cache-bytes.
+const DefaultTraceCacheBytes = trace.DefaultTraceCacheBytes
+
+// NewTraceSegmentCache returns a segment cache bounded to capBytes of
+// decoded accesses. capBytes <= 0 returns nil, which every consumer treats
+// as "cache off"; a nil *TraceSegmentCache is safe everywhere one is
+// accepted.
+func NewTraceSegmentCache(capBytes int64) *TraceSegmentCache {
+	return trace.NewSegmentCache(capBytes)
+}
+
+// OpenIndexedTraceFileCache is OpenIndexedTraceFile with a shared segment
+// cache attached: v3 files consult cache before decoding a segment and
+// publish what they decode. A nil cache behaves exactly like
+// OpenIndexedTraceFile.
+func OpenIndexedTraceFileCache(path string, decoders int, cache *TraceSegmentCache) (TraceSource, error) {
+	return trace.OpenFileParallelCache(path, decoders, cache)
+}
+
 // NewTraceWriter returns a writer encoding accesses to w in the streaming
 // .mtr format (version 3, segment-indexed, by default — see
 // trace.NewWriterOptions for the version escape hatch). Close it to emit
@@ -628,6 +659,11 @@ type (
 	// RunManifest records the exact conditions and outcome of one run,
 	// written atomically alongside the results it produced.
 	RunManifest = telemetry.Manifest
+	// TraceCacheStats is a snapshot of a TraceSegmentCache's counters
+	// (hits, misses, single-flight joins, evictions, resident/pinned
+	// bytes). TelemetrySample and RunManifest carry one when a cache is
+	// live; TraceSegmentCache.Stats returns one directly.
+	TraceCacheStats = telemetry.CacheStats
 )
 
 // NewTelemetrySampler builds a sampler over stats; interval <= 0 uses the

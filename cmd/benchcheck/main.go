@@ -56,7 +56,19 @@ const defaultChecks = "BenchmarkBatchedTable2:speedup," +
 	"BenchmarkShardedTable2NoProducer:noproducer_stall_ns_per_op," +
 	"BenchmarkTelemetryOverhead:off_ns_per_op:0.60," +
 	"BenchmarkTelemetryOverhead:off_allocs_per_op," +
-	"BenchmarkTelemetryOverhead:overhead_ratio:0.35"
+	"BenchmarkTelemetryOverhead:overhead_ratio:0.35," +
+	// The segment cache's self-normalizing ratios: a warm cache must keep
+	// beating re-decode by roughly its baseline margin, end-to-end and on
+	// the decode-only drain.
+	"BenchmarkSegmentCacheSweep:decode_speedup:0.35," +
+	"BenchmarkSegmentCacheSweep:warm_ns_per_op:0.60," +
+	// Structural guard (zero baseline): a warm sweep over a cache large
+	// enough for the whole trace must never re-decode a segment; any miss
+	// means keys, eviction, or pinning regressed.
+	"BenchmarkSegmentCacheSweep:warm_misses_per_op," +
+	"BenchmarkCohdHotTrace:speedup:0.35," +
+	"BenchmarkCohdHotTrace:hot_ns_per_op:0.60," +
+	"BenchmarkCohdHotTrace:hot_misses_per_op"
 
 func fatal(format string, args ...any) {
 	cliutil.Fatal("benchcheck", format, args...)
@@ -131,17 +143,19 @@ func main() {
 		} else {
 			bad = cur != 0 && !higherBetter
 		}
-		drift := 0.0
-		if base != 0 {
-			drift = 100 * (cur - base) / base
-		}
 		verdict := "ok  "
 		if bad {
 			verdict = "FAIL"
 			failed++
 		}
-		fmt.Printf("%s %s:%s baseline %.4g, current %.4g (%+.1f%%, tolerance %.0f%%)\n",
-			verdict, name, metric, base, cur, drift, 100*tol)
+		// The relative delta (current as a ratio of baseline) is the number
+		// to read when a row fails: it is machine-independent where the raw
+		// ns values are not.
+		detail := fmt.Sprintf("baseline %.4g, current %.4g", base, cur)
+		if base != 0 {
+			detail += fmt.Sprintf(" (%.3fx of baseline, %+.1f%%)", cur/base, 100*(cur-base)/base)
+		}
+		fmt.Printf("%s %s:%s %s, tolerance %.0f%%\n", verdict, name, metric, detail, 100*tol)
 	}
 	if failed > 0 {
 		fatal("%d metric(s) regressed beyond tolerance", failed)

@@ -22,6 +22,7 @@ import (
 	"migratory/internal/cliutil"
 	"migratory/internal/server"
 	"migratory/internal/telemetry"
+	"migratory/internal/trace"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 0, "deadline for requests that name none (0 = unbounded)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on requested deadlines (0 = uncapped)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may wait for in-flight runs before aborting them")
+	traceCacheBytes := flag.Int64("trace-cache-bytes", trace.DefaultTraceCacheBytes, "decoded-segment cache capacity shared across requests replaying indexed (v3) .mtr traces (0 = decode per request)")
 	interval := flag.Duration("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling cadence")
 	logFlags := cliutil.RegisterLogging(name)
 	flag.Parse()
@@ -43,10 +45,19 @@ func main() {
 	}
 	logFlags.SetupLogging()
 
+	if *traceCacheBytes < 0 {
+		cliutil.Usagef(name, "-trace-cache-bytes must be >= 0 (0 disables the cache; got %d)", *traceCacheBytes)
+	}
+	segCache := trace.NewSegmentCache(*traceCacheBytes)
+	if segCache != nil {
+		telemetry.RegisterCacheStats(func() telemetry.CacheStats { return segCache.Stats() })
+	}
+
 	man := telemetry.NewManifest(name)
 	man.Extra = map[string]any{
-		"queue":   *queueCap,
-		"workers": *workers,
+		"queue":             *queueCap,
+		"workers":           *workers,
+		"trace_cache_bytes": *traceCacheBytes,
 	}
 	run, err := telemetry.StartRun(telemetry.RunConfig{
 		Tool:        name,
@@ -70,6 +81,7 @@ func main() {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		Stats:          run.Stats(),
+		Cache:          segCache,
 	})
 	if err != nil {
 		cliutil.FatalRun(run, name, "%v", err)

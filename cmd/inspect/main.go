@@ -33,6 +33,7 @@ import (
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
 	"migratory/internal/telemetry"
+	"migratory/internal/trace"
 )
 
 // teleRun is the command's telemetry session; fatal funnels failures
@@ -45,16 +46,17 @@ func fatal(format string, args ...any) {
 
 func main() {
 	var (
-		app       = flag.String("app", "", "application profile to generate (see tracegen -list)")
-		traceIn   = flag.String("trace", "", "replay a binary trace file (from tracegen) instead of generating")
-		length    = flag.Int("length", 0, "generated trace length (0 = profile default)")
-		seed      = flag.Int64("seed", 1993, "workload generator seed")
-		nodes     = flag.Int("nodes", 16, "processor count")
-		engine    = flag.String("engine", "directory", "protocol engine: directory or bus")
-		variant   = flag.String("variant", "basic", "protocol variant (directory: conventional, conservative, basic, aggressive, stenstrom; bus: mesi, adaptive, adaptive-migrate-first, symmetry, berkeley, update-once)")
-		cacheKB   = flag.Int("cache", 0, "per-node cache size in KB (0 = infinite)")
-		blockSize = flag.Int("block", 16, "block size in bytes")
-		shards    = flag.Int("shards", 1, "engine shards, split by cache-set index (1 = sequential, -1 = all CPUs; metrics are identical either way, but per-event output needs -shards 1)")
+		app        = flag.String("app", "", "application profile to generate (see tracegen -list)")
+		traceIn    = flag.String("trace", "", "replay a binary trace file (from tracegen) instead of generating")
+		length     = flag.Int("length", 0, "generated trace length (0 = profile default)")
+		seed       = flag.Int64("seed", 1993, "workload generator seed")
+		nodes      = flag.Int("nodes", 16, "processor count")
+		engine     = flag.String("engine", "directory", "protocol engine: directory or bus")
+		variant    = flag.String("variant", "basic", "protocol variant (directory: conventional, conservative, basic, aggressive, stenstrom; bus: mesi, adaptive, adaptive-migrate-first, symmetry, berkeley, update-once)")
+		cacheKB    = flag.Int("cache", 0, "per-node cache size in KB (0 = infinite)")
+		blockSize  = flag.Int("block", 16, "block size in bytes")
+		traceCache = flag.Int64("trace-cache-bytes", trace.DefaultTraceCacheBytes, "decoded-segment cache for indexed (v3) .mtr replays: the placement profiling pass and the simulation pass share decoded segments (0 = decode twice)")
+		shards     = flag.Int("shards", 1, "engine shards, split by cache-set index (1 = sequential, -1 = all CPUs; metrics are identical either way, but per-event output needs -shards 1)")
 
 		kinds     = flag.String("kinds", "", "comma-separated event kinds to show (default: all; e.g. classify,migration)")
 		blocks    = flag.String("blocks", "", "comma-separated block IDs to show (default: all)")
@@ -108,6 +110,13 @@ func main() {
 	}
 	if *engine != sim.EngineDirectory && *engine != sim.EngineBus {
 		cliutil.Usagef("inspect", "unknown engine %q (want directory or bus)", *engine)
+	}
+	if *traceCache < 0 {
+		cliutil.Usagef("inspect", "-trace-cache-bytes must be >= 0 (0 disables the cache; got %d)", *traceCache)
+	}
+	segCache := trace.NewSegmentCache(*traceCache)
+	if segCache != nil {
+		telemetry.RegisterCacheStats(func() telemetry.CacheStats { return segCache.Stats() })
 	}
 
 	ctx, stop := cliutil.SignalContext()
@@ -168,6 +177,7 @@ func main() {
 		CacheBytes: *cacheKB << 10,
 		BlockSize:  *blockSize,
 		Shards:     nshards,
+		Cache:      segCache,
 	}
 	mp := run(ctx, cfg, *variant, extra)
 

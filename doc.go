@@ -121,6 +121,14 @@
 // reassembling the exact sequential stream — and sharded runs route
 // segments straight into per-shard queues with no serial producer at all.
 // Opening a v1/v2 trace through the indexed path reports ErrTraceNoIndex.
+// A process-wide decoded-segment cache (NewTraceSegmentCache, threaded via
+// RunConfig.Cache or OpenIndexedTraceFileCache, sized by the shared
+// -trace-cache-bytes flag) lets sweeps and cohd decode each indexed trace
+// once and replay it many times from immutable ref-counted slabs — keyed
+// by file identity so rewritten files never serve stale data, bounded by
+// LRU eviction, and observable through TraceCacheStats (Stats, /metrics,
+// run manifests). Like Decoders it cannot change a result: cached replay
+// is bit-identical and plays no part in RunConfig.Digest.
 // Run streams whichever source the config names and honors cancellation; the
 // deprecated per-engine wrappers RunDirectory, RunBus, and RunTimedSource
 // remain for callers managing their own sources, and AnalyzeTraceSource

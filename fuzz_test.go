@@ -3,7 +3,11 @@ package migratory
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 
 	"migratory/internal/core"
 	"migratory/internal/directory"
@@ -358,6 +362,85 @@ func FuzzTraceCodec(f *testing.F) {
 			if got[i] != accs[i] {
 				t.Fatalf("record %d: %v != %v", i, got[i], accs[i])
 			}
+		}
+	})
+}
+
+// FuzzSegmentCacheKey rewrites a trace file in place and requires the
+// shared segment cache to never serve segments decoded from the previous
+// bytes: file identity (size + mtime + inode) must fence every rewrite,
+// including ones that keep the encoded size identical.
+func FuzzSegmentCacheKey(f *testing.F) {
+	fuzzSeeds(f)
+	writeV3 := func(t *testing.T, path string, accs []trace.Access) {
+		t.Helper()
+		var buf bytes.Buffer
+		w := trace.NewWriterOptions(&buf, trace.Header{BlockSize: 16, PageSize: 4096, Nodes: 64},
+			trace.WriterOptions{SegmentBytes: 64})
+		for _, a := range accs {
+			if err := w.Write(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readThrough := func(t *testing.T, cache *TraceSegmentCache, path string) []trace.Access {
+		t.Helper()
+		src, err := OpenIndexedTraceFileCache(path, 2, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		got, err := ReadTrace(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		before := decodeAccesses(data, 64, 250)
+		if len(before) == 0 {
+			return
+		}
+		// A same-length mutation keeps the access count (and usually the
+		// encoded size) identical — the hardest rewrite to fence.
+		after := append([]trace.Access(nil), before...)
+		i := int(data[0]) % len(after)
+		after[i].Kind ^= 1
+		after[i].Node = memory.NodeID((int(after[i].Node) + 1) % 64)
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "t.mtr")
+		writeV3(t, path, before)
+		cache := NewTraceSegmentCache(64 << 20)
+		if got := readThrough(t, cache, path); !reflect.DeepEqual(got, before) {
+			t.Fatalf("first replay decoded %d records, want %d", len(got), len(before))
+		}
+
+		writeV3(t, path, after)
+		// Guarantee an observable mtime change even on filesystems with
+		// coarse timestamps and an unchanged encoded size.
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bumped := fi.ModTime().Add(time.Second)
+		if err := os.Chtimes(path, bumped, bumped); err != nil {
+			t.Fatal(err)
+		}
+
+		if got := readThrough(t, cache, path); !reflect.DeepEqual(got, after) {
+			for j := range after {
+				if j < len(got) && got[j] != after[j] {
+					t.Fatalf("record %d after rewrite: got %v, want %v (stale cache?)", j, got[j], after[j])
+				}
+			}
+			t.Fatalf("rewrite replay decoded %d records, want %d", len(got), len(after))
 		}
 	})
 }

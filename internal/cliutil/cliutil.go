@@ -27,6 +27,7 @@ import (
 	"migratory/internal/obs"
 	"migratory/internal/sim"
 	"migratory/internal/snoop"
+	"migratory/internal/telemetry"
 	"migratory/internal/trace"
 )
 
@@ -35,15 +36,19 @@ import (
 type Flags struct {
 	name string
 
-	Apps        *string
-	Length      *int
-	Seed        *int64
-	Nodes       *int
-	Parallelism *int
-	Shards      *int
-	Decoders    *int
-	Trace       *string
-	Stream      *bool
+	Apps            *string
+	Length          *int
+	Seed            *int64
+	Nodes           *int
+	Parallelism     *int
+	Shards          *int
+	Decoders        *int
+	Trace           *string
+	Stream          *bool
+	TraceCacheBytes *int64
+
+	cacheOnce sync.Once
+	cache     *trace.SegmentCache
 }
 
 // Register declares the shared sweep flags on the default flag set and
@@ -59,7 +64,24 @@ func Register(name string) *Flags {
 	f.Decoders = flag.Int("decoders", 0, "parallel trace-decode workers for indexed (v3) .mtr files (0 = all CPUs, 1 = sequential decode; results are identical either way)")
 	f.Trace = flag.String("trace", "", "run over a binary trace file (from tracegen) instead of the built-in workloads")
 	f.Stream = flag.Bool("stream", false, "regenerate traces lazily per simulation cell instead of materializing them (O(1) trace memory; bit-identical results)")
+	f.TraceCacheBytes = flag.Int64("trace-cache-bytes", trace.DefaultTraceCacheBytes, "decoded-segment cache capacity shared by every cell replaying an indexed (v3) .mtr trace (0 = decode per cell; results are identical either way)")
 	return f
+}
+
+// Cache returns the process-wide decoded-segment cache described by
+// -trace-cache-bytes, building it on first call and registering it as the
+// telemetry plane's cache observation source (so /metrics and run
+// manifests carry its hit/miss/pinned counters). Returns nil when the flag
+// is 0 — caching off.
+func (f *Flags) Cache() *trace.SegmentCache {
+	f.cacheOnce.Do(func() {
+		f.cache = trace.NewSegmentCache(*f.TraceCacheBytes)
+		if f.cache != nil {
+			c := f.cache
+			telemetry.RegisterCacheStats(func() telemetry.CacheStats { return c.Stats() })
+		}
+	})
+	return f.cache
 }
 
 // Validate enforces the shared flag invariants after flag.Parse, exiting
@@ -71,6 +93,9 @@ func (f *Flags) Validate() {
 	f.validateWorkerFlag("-parallelism", *f.Parallelism, 0)
 	f.validateWorkerFlag("-shards", *f.Shards, -1)
 	f.validateWorkerFlag("-decoders", *f.Decoders, 0)
+	if *f.TraceCacheBytes < 0 {
+		Usagef(f.name, "-trace-cache-bytes must be >= 0 (0 disables the cache; got %d)", *f.TraceCacheBytes)
+	}
 
 	procs := runtime.GOMAXPROCS(0)
 	shards := *f.Shards
@@ -140,6 +165,7 @@ func (f *Flags) Options(ctx context.Context) sim.Options {
 		Parallelism: *f.Parallelism,
 		Shards:      *f.Shards,
 		Decoders:    *f.Decoders,
+		Cache:       f.Cache(),
 	}
 	if *f.Apps != "" {
 		for _, a := range strings.Split(*f.Apps, ",") {
@@ -157,7 +183,7 @@ func (f *Flags) TraceApps() ([]*sim.App, error) {
 	if *f.Trace == "" {
 		return nil, nil
 	}
-	app, err := TraceApp(*f.Trace, *f.Nodes, *f.Decoders)
+	app, err := TraceApp(*f.Trace, *f.Nodes, *f.Decoders, f.Cache())
 	if err != nil {
 		return nil, err
 	}
@@ -172,10 +198,12 @@ func (f *Flags) TraceApps() ([]*sim.App, error) {
 // (trace.DemuxParallel); older versions fall back to sequential decode
 // ahead of the simulation on a prefetch goroutine. Either way decode
 // overlaps the engine's work, and the composition is explicit in
-// trace.OpenFileParallel rather than depending on the shard count.
-func TraceApp(path string, nodes, decoders int) (*sim.App, error) {
+// trace.OpenFileParallelCache rather than depending on the shard count.
+// cache, when non-nil, lets every opened source (the profiling pass
+// included) share decoded segments instead of re-decoding per cell.
+func TraceApp(path string, nodes, decoders int, cache *trace.SegmentCache) (*sim.App, error) {
 	return sim.NewSourceApp(path, func() (trace.Source, error) {
-		return trace.OpenFileParallel(path, decoders)
+		return trace.OpenFileParallelCache(path, decoders, cache)
 	}, nodes)
 }
 

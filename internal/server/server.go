@@ -25,6 +25,7 @@ import (
 
 	"migratory/internal/sim"
 	"migratory/internal/telemetry"
+	"migratory/internal/trace"
 )
 
 var (
@@ -58,6 +59,12 @@ type Config struct {
 	// Stats, when non-nil, is threaded into every run so the engines feed
 	// the process's live telemetry counters.
 	Stats *telemetry.RunStats
+	// Cache, when non-nil, is the shared decoded-segment cache threaded
+	// into every run: requests replaying the same indexed (MTR3) trace —
+	// even with cold digests — share decoded segments instead of
+	// re-decoding the file per request. Like Stats it cannot change a
+	// result, so it plays no part in digests or result caching.
+	Cache *trace.SegmentCache
 	// Logger receives lifecycle messages; nil uses slog.Default().
 	Logger *slog.Logger
 	// RunFunc replaces sim.Run (tests only; nil = sim.Run).
@@ -207,6 +214,7 @@ func (s *Server) Submit(cfg sim.RunConfig, timeout time.Duration, noCache bool) 
 		timeout = s.cfg.MaxTimeout
 	}
 	cfg.Stats = s.cfg.Stats
+	cfg.Cache = s.cfg.Cache
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -66,7 +66,8 @@ func ClassifierAccuracyApp(prepared *App, opts Options, cacheBytes int) ([]Accur
 	opts = opts.withDefaults()
 	app := prepared.Name
 	geom := memory.MustGeometry(16, PageSize)
-	src, err := prepared.Open()
+	open := opts.cachedOpen(prepared.Open)
+	src, err := open()
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +95,8 @@ func ClassifierAccuracyApp(prepared *App, opts Options, cacheBytes int) ([]Accur
 			Nodes:           opts.Nodes,
 			CacheBytes:      cacheBytes,
 			Shards:          opts.Shards,
-			OpenSource:      prepared.Open,
+			Cache:           opts.Cache,
+			OpenSource:      open,
 			PlacementPolicy: pl,
 			policy:          &pol,
 		})

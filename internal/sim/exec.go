@@ -91,7 +91,8 @@ func ExecutionTimeApps(apps []*App, opts Options, policy core.Policy, cacheBytes
 			Nodes:        opts.Nodes,
 			CacheBytes:   cacheBytes,
 			TimingParams: &params,
-			OpenSource:   app.Open,
+			Cache:        opts.Cache,
+			OpenSource:   opts.cachedOpen(app.Open),
 			policy:       &pol,
 		})
 		if err != nil {

@@ -134,6 +134,11 @@ type RunConfig struct {
 	// Workload/TraceFile. The factory must yield a fresh source per call:
 	// placement profiling and the simulation each open their own.
 	OpenSource func() (trace.Source, error) `json:"-"`
+	// Cache, when non-nil, is the shared decoded-segment cache consulted
+	// when TraceFile names an indexed (MTR3) trace. Like Decoders it cannot
+	// change the result — only how often segments are decoded — so it is
+	// not part of the wire format or the cache key (Digest ignores it).
+	Cache *trace.SegmentCache `json:"-"`
 	// PlacementPolicy, when non-nil, bypasses Placement with a prepared
 	// policy (for example an App's profiled placement).
 	PlacementPolicy placement.Policy `json:"-"`
@@ -349,7 +354,7 @@ func (c RunConfig) openSource() (trace.Source, error) {
 	case c.OpenSource != nil:
 		return c.OpenSource()
 	case c.TraceFile != "":
-		return trace.OpenFileParallel(c.TraceFile, c.resolveDecoders())
+		return trace.OpenFileParallelCache(c.TraceFile, c.resolveDecoders(), c.Cache)
 	default:
 		prof, err := workload.ProfileByName(c.Workload)
 		if err != nil {

@@ -73,6 +73,13 @@ type Options struct {
 	// GOMAXPROCS, >= 1 explicit. Purely a throughput knob; results are
 	// bit-identical at any setting.
 	Decoders int
+	// Cache, when non-nil, is the shared decoded-segment cache every cell
+	// of the sweep consults before decoding an indexed (MTR3) trace file:
+	// the first cell decodes each segment once and the rest replay the
+	// shared immutable slabs, so decode CPU scales with the trace, not the
+	// cell count. Purely a throughput knob; results are bit-identical with
+	// or without it. Sweeps over in-memory or generated traces ignore it.
+	Cache *trace.SegmentCache
 	// Probes, when non-nil, is called once per simulation cell to build the
 	// probe that cell's System is instrumented with (a nil return leaves the
 	// cell unprobed). Cells run concurrently on worker goroutines under
@@ -92,6 +99,26 @@ type Options struct {
 	// cell progress (CellsDone/CellsTotal) for ETA reporting. One RunStats
 	// may be shared across a whole sweep — all fields are atomic sums.
 	Stats *telemetry.RunStats
+}
+
+// cachedOpen wraps a source factory so every indexed file source it yields
+// consults the sweep's shared segment cache. Non-indexed sources (slices,
+// generators, v1/v2 files) pass through untouched, and a nil cache returns
+// the factory as-is.
+func (o Options) cachedOpen(open func() (trace.Source, error)) func() (trace.Source, error) {
+	if o.Cache == nil {
+		return open
+	}
+	cache := o.Cache
+	return func() (trace.Source, error) {
+		src, err := open()
+		if err == nil {
+			if ifs, ok := src.(*trace.IndexedFileSource); ok {
+				ifs.WithCache(cache)
+			}
+		}
+		return src, err
+	}
 }
 
 // ctx resolves Options.Context (nil = context.Background()).
@@ -249,7 +276,8 @@ func RunDirectoryCell(app *App, opts Options, policy core.Policy, cacheBytes, bl
 		Decoders:        opts.Decoders,
 		Probes:          probes,
 		Stats:           opts.Stats,
-		OpenSource:      app.Open,
+		Cache:           opts.Cache,
+		OpenSource:      opts.cachedOpen(app.Open),
 		PlacementPolicy: app.Placement,
 		policy:          &policy,
 	})
@@ -514,7 +542,8 @@ func RunBusApps(apps []*App, opts Options, cacheSizes []int, protocols []snoop.P
 			Decoders:   opts.Decoders,
 			Probes:     probes,
 			Stats:      opts.Stats,
-			OpenSource: app.Open,
+			Cache:      opts.Cache,
+			OpenSource: opts.cachedOpen(app.Open),
 		})
 		if err != nil {
 			if cerr := opts.ctx().Err(); cerr != nil {

@@ -1,0 +1,67 @@
+package telemetry
+
+import "sync/atomic"
+
+// CacheStats is one observation of the process-wide decoded-segment cache
+// (trace.SegmentCache). The counters are cumulative since process start;
+// the byte and entry fields are instantaneous gauges.
+//
+// The type lives here rather than in internal/trace because telemetry sits
+// at the bottom of the dependency graph: trace imports telemetry, so the
+// sampler, the /metrics endpoint, and the run manifests can all carry
+// cache observations without a cycle. The cache itself registers a
+// provider with RegisterCacheStats; everything above reads through it.
+type CacheStats struct {
+	// CapBytes is the configured capacity (0 = the cache is disabled).
+	CapBytes int64 `json:"cap_bytes"`
+	// ResidentBytes is the decoded-access bytes currently held (pinned +
+	// evictable).
+	ResidentBytes int64 `json:"resident_bytes"`
+	// PinnedBytes is the subset of ResidentBytes referenced by at least one
+	// in-flight consumer right now; PeakPinnedBytes is its high-water mark.
+	PinnedBytes     int64 `json:"pinned_bytes"`
+	PeakPinnedBytes int64 `json:"peak_pinned_bytes"`
+	// Entries is the number of decoded segments resident.
+	Entries int `json:"entries"`
+
+	// Hits counts acquisitions served from a resident segment (including
+	// single-flight joins onto a decode already in progress); Misses counts
+	// acquisitions that had to decode. SingleFlightJoins is the subset of
+	// Hits that waited on another goroutine's in-progress decode.
+	Hits              uint64 `json:"hits"`
+	Misses            uint64 `json:"misses"`
+	SingleFlightJoins uint64 `json:"single_flight_joins"`
+	// Evictions counts segments dropped under memory pressure;
+	// EvictedBytes their cumulative size.
+	Evictions    uint64 `json:"evictions"`
+	EvictedBytes uint64 `json:"evicted_bytes"`
+}
+
+// cacheStatsProvider is the registered observation source (nil until a
+// cache exists). Stored behind an atomic pointer so samplers and manifest
+// writers on any goroutine race-freely observe registration.
+var cacheStatsProvider atomic.Pointer[func() CacheStats]
+
+// RegisterCacheStats installs f as the process's trace-cache observation
+// source; subsequent Samples, manifests, and /metrics scrapes include its
+// numbers. Passing nil unregisters. The expected registrant is the
+// process-wide trace.SegmentCache built from -trace-cache-bytes; a later
+// registration replaces an earlier one.
+func RegisterCacheStats(f func() CacheStats) {
+	if f == nil {
+		cacheStatsProvider.Store(nil)
+		return
+	}
+	cacheStatsProvider.Store(&f)
+}
+
+// SnapshotCacheStats returns the current trace-cache observation, or nil
+// when no cache has registered.
+func SnapshotCacheStats() *CacheStats {
+	fp := cacheStatsProvider.Load()
+	if fp == nil {
+		return nil
+	}
+	cs := (*fp)()
+	return &cs
+}

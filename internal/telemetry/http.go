@@ -186,6 +186,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("migratory_batch_fill_avg", "Average accesses per delivered batch.", sm.AvgBatchFill)
 	gauge("migratory_eta_seconds", "Estimated remaining sweep wall time (0 = unknown).", sm.ETA.Seconds())
 
+	if cs := sm.Cache; cs != nil {
+		counter("migratory_trace_cache_hits_total", "Segment acquisitions served from the decoded-segment cache.", float64(cs.Hits))
+		counter("migratory_trace_cache_misses_total", "Segment acquisitions that had to decode.", float64(cs.Misses))
+		counter("migratory_trace_cache_single_flight_joins_total", "Hits that waited on another goroutine's in-progress decode.", float64(cs.SingleFlightJoins))
+		counter("migratory_trace_cache_evictions_total", "Decoded segments dropped under memory pressure.", float64(cs.Evictions))
+		counter("migratory_trace_cache_evicted_bytes_total", "Cumulative bytes of evicted decoded segments.", float64(cs.EvictedBytes))
+		gauge("migratory_trace_cache_capacity_bytes", "Configured decoded-segment cache capacity.", float64(cs.CapBytes))
+		gauge("migratory_trace_cache_resident_bytes", "Decoded-access bytes currently resident.", float64(cs.ResidentBytes))
+		gauge("migratory_trace_cache_pinned_bytes", "Resident bytes referenced by in-flight consumers.", float64(cs.PinnedBytes))
+		gauge("migratory_trace_cache_peak_pinned_bytes", "High-water mark of pinned bytes.", float64(cs.PeakPinnedBytes))
+		gauge("migratory_trace_cache_entries", "Decoded segments resident.", float64(cs.Entries))
+	}
+
 	if len(sm.QueueDepths) > 0 {
 		fmt.Fprintf(&b, "# HELP migratory_shard_queue_depth Routed batches in flight per shard slot.\n# TYPE migratory_shard_queue_depth gauge\n")
 		for i, d := range sm.QueueDepths {

@@ -55,6 +55,10 @@ type Manifest struct {
 	PeakRSSBytes   uint64    `json:"peak_rss_bytes"`
 	HeapAllocBytes uint64    `json:"heap_alloc_bytes"`
 	NumGC          uint32    `json:"num_gc"`
+	// TraceCache records the decoded-segment cache totals at run end (hit/
+	// miss counters, peak pinned bytes) for every tool that opened a trace
+	// through a SegmentCache; nil when the process ran without one.
+	TraceCache *CacheStats `json:"trace_cache,omitempty"`
 	// Outcome is "ok", or the error string of a failed run.
 	Outcome string `json:"outcome"`
 }
@@ -126,6 +130,11 @@ func (m *Manifest) Finish(final Sample, err error) {
 	m.PeakRSSBytes = peakRSSBytes()
 	m.HeapAllocBytes = final.HeapAllocBytes
 	m.NumGC = final.NumGC
+	if m.TraceCache = final.Cache; m.TraceCache == nil {
+		// Synthetic final samples (cohd's per-request manifests) carry no
+		// cache observation; fall back to the live process-wide provider.
+		m.TraceCache = SnapshotCacheStats()
+	}
 	if err != nil {
 		m.Outcome = err.Error()
 	}

@@ -136,6 +136,10 @@ type Sample struct {
 	// zero when CellsTotal is unknown.
 	ETA time.Duration `json:"eta_ns"`
 
+	// Cache is the decoded-segment cache observation (nil when the process
+	// runs without a trace.SegmentCache; see RegisterCacheStats).
+	Cache *CacheStats `json:"trace_cache,omitempty"`
+
 	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
 	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
 	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
@@ -246,6 +250,7 @@ func (s *Sampler) Snapshot() Sample {
 		DemuxStalls:  st.DemuxStalls.Load(),
 		DemuxStallNs: st.DemuxStallNs.Load(),
 		QueueDepths:  st.QueueDepths(),
+		Cache:        SnapshotCacheStats(),
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

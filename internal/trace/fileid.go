@@ -1,0 +1,24 @@
+package trace
+
+import (
+	"hash/fnv"
+	"io/fs"
+	"path/filepath"
+)
+
+// fileIDFromPath is the portable file identity: a hash of the absolute
+// path in place of dev/ino, still fenced by size and mtime so content
+// changes invalidate cached segments.
+func fileIDFromPath(path string, fi fs.FileInfo) (FileID, bool) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	h := fnv.New64a()
+	h.Write([]byte(abs))
+	return FileID{
+		Ino:     h.Sum64(),
+		Size:    fi.Size(),
+		MTimeNs: fi.ModTime().UnixNano(),
+	}, true
+}

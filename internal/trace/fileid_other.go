@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "io/fs"
+
+// fileIDFor on platforms without dev/ino uses the portable path-hash
+// identity.
+func fileIDFor(path string, fi fs.FileInfo) (FileID, bool) {
+	return fileIDFromPath(path, fi)
+}

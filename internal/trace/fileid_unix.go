@@ -1,0 +1,25 @@
+//go:build unix
+
+package trace
+
+import (
+	"io/fs"
+	"syscall"
+)
+
+// fileIDFor derives the cache identity of an opened trace file: dev/ino
+// name the file object, size and mtime its content generation. A Stat that
+// carries no syscall detail (synthetic filesystems) falls back to the
+// portable path hash.
+func fileIDFor(path string, fi fs.FileInfo) (FileID, bool) {
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return fileIDFromPath(path, fi)
+	}
+	return FileID{
+		Dev:     uint64(st.Dev),
+		Ino:     uint64(st.Ino),
+		Size:    fi.Size(),
+		MTimeNs: fi.ModTime().UnixNano(),
+	}, true
+}

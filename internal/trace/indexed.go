@@ -82,10 +82,54 @@ func decodeSegmentWindows(r io.ReaderAt, seg Segment, nodes int) ([]segWindow, e
 	return wins, nil
 }
 
-// segEntry is one decoded segment queued for in-order delivery.
+// decodeSegmentSlab decodes a whole segment into one freshly allocated
+// contiguous slab — the immutable form the SegmentCache shares across
+// consumers. Unlike decodeSegmentWindows the result owes nothing to the
+// batch pools, so cached slabs can never be recycled under a reader.
+func decodeSegmentSlab(r io.ReaderAt, seg Segment, nodes int) ([]Access, error) {
+	data, err := readSegment(r, seg)
+	if err != nil {
+		return nil, err
+	}
+	defer putSegBuf(data)
+	out := make([]Access, seg.Count)
+	dec := newSegmentDecoder(data, seg, nodes)
+	filled := 0
+	for dec.left > 0 {
+		n, err := dec.next(out[filled:])
+		if err != nil {
+			return nil, err
+		}
+		filled += n
+	}
+	// The slab is exactly Count long, so the loop exits the moment the last
+	// record lands and the trailing-bytes check inside next has not run;
+	// one extra read (which must report EOF) performs it.
+	var dummy [1]Access
+	if _, err := dec.next(dummy[:]); err != io.EOF {
+		return nil, err
+	}
+	return out[:filled], nil
+}
+
+// segEntry is one decoded segment queued for in-order delivery: either
+// pooled windows (uncached decode) or a pinned cache slab — never both.
 type segEntry struct {
 	wins []segWindow
+	pin  *PinnedSegment
 	err  error
+}
+
+// discard recycles or releases whatever the entry holds.
+func (e *segEntry) discard() {
+	for _, w := range e.wins {
+		PutBatch(w.buf)
+	}
+	e.wins = nil
+	if e.pin != nil {
+		e.pin.Release()
+		e.pin = nil
+	}
 }
 
 // segPipe is the parallel decode pipeline behind IndexedFileSource's
@@ -98,6 +142,8 @@ type segEntry struct {
 type segPipe struct {
 	r     io.ReaderAt
 	idx   *Index
+	cache *SegmentCache // nil = decode into pooled windows
+	id    FileID        // cache identity, set when cache != nil
 	mu    sync.Mutex
 	cond  *sync.Cond
 	ready map[int]segEntry
@@ -109,7 +155,7 @@ type segPipe struct {
 	wg    sync.WaitGroup
 }
 
-func newSegPipe(r io.ReaderAt, idx *Index, workers int) *segPipe {
+func newSegPipe(r io.ReaderAt, idx *Index, workers int, cache *SegmentCache, id FileID) *segPipe {
 	if workers > len(idx.Segments) {
 		workers = len(idx.Segments)
 	}
@@ -119,6 +165,8 @@ func newSegPipe(r io.ReaderAt, idx *Index, workers int) *segPipe {
 	p := &segPipe{
 		r:     r,
 		idx:   idx,
+		cache: cache,
+		id:    id,
 		ready: make(map[int]segEntry),
 		stopC: make(chan struct{}),
 		slots: make(chan struct{}, workers+2),
@@ -152,17 +200,26 @@ func (p *segPipe) worker() {
 		p.claim++
 		p.mu.Unlock()
 
-		wins, err := decodeSegmentWindows(p.r, p.idx.Segments[i], p.idx.Header.Nodes)
+		var e segEntry
+		if p.cache != nil {
+			seg := p.idx.Segments[i]
+			pin, err := p.cache.Acquire(p.id, i, func() ([]Access, error) {
+				return decodeSegmentSlab(p.r, seg, p.idx.Header.Nodes)
+			})
+			e = segEntry{pin: pin, err: err}
+		} else {
+			wins, err := decodeSegmentWindows(p.r, p.idx.Segments[i], p.idx.Header.Nodes)
+			e = segEntry{wins: wins, err: err}
+		}
+		err := e.err
 		p.mu.Lock()
 		if p.stop {
 			p.mu.Unlock()
-			for _, w := range wins {
-				PutBatch(w.buf)
-			}
+			e.discard()
 			<-p.slots
 			return
 		}
-		p.ready[i] = segEntry{wins: wins, err: err}
+		p.ready[i] = e
 		if err != nil {
 			// Decode failures surface to the consumer in order; segments
 			// past the bad one would be wasted work.
@@ -174,23 +231,24 @@ func (p *segPipe) worker() {
 }
 
 // nextSegment blocks until the next in-order segment is decoded and
-// returns its windows. It returns io.EOF after the final segment and the
-// decode error of the first bad segment.
-func (p *segPipe) nextSegment() ([]segWindow, error) {
+// returns its entry (pooled windows or a pinned cache slab). It returns
+// io.EOF after the final segment and the decode error of the first bad
+// segment.
+func (p *segPipe) nextSegment() (segEntry, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.next >= len(p.idx.Segments) {
-		return nil, io.EOF
+		return segEntry{}, io.EOF
 	}
 	for {
 		if p.stop {
-			return nil, io.EOF
+			return segEntry{}, io.EOF
 		}
 		if e, ok := p.ready[p.next]; ok {
 			delete(p.ready, p.next)
 			p.next++
 			<-p.slots
-			return e.wins, e.err
+			return e, e.err
 		}
 		p.cond.Wait()
 	}
@@ -208,9 +266,7 @@ func (p *segPipe) halt() {
 	p.mu.Unlock()
 	p.wg.Wait()
 	for i, e := range p.ready {
-		for _, w := range e.wins {
-			PutBatch(w.buf)
-		}
+		e.discard()
 		delete(p.ready, i)
 	}
 }
@@ -234,8 +290,13 @@ type IndexedFileSource struct {
 	idx      *Index
 	decoders int
 
+	cache  *SegmentCache // nil = caching off
+	fileID FileID
+	hasID  bool // file identity known (opened from a real path)
+
 	pipe *segPipe
 	wins []segWindow
+	pin  *PinnedSegment // pin backing cur when it is a cache slab
 	cur  []Access
 	pos  int
 	err  error
@@ -275,7 +336,20 @@ func OpenIndexedFile(path string, decoders int) (*IndexedFileSource, error) {
 		return nil, err
 	}
 	src.closer = f
+	src.fileID, src.hasID = fileIDFor(path, fi)
 	return src, nil
+}
+
+// WithCache attaches the shared decoded-segment cache: subsequent decodes
+// (sequential face and DemuxParallel alike) consult it before touching the
+// raw bytes. A nil cache, an already-started pipeline, or a source without
+// file identity (NewIndexedSource over a bare ReaderAt) leaves the source
+// uncached. Returns s for chaining.
+func (s *IndexedFileSource) WithCache(c *SegmentCache) *IndexedFileSource {
+	if c != nil && s.hasID && s.pipe == nil {
+		s.cache = c
+	}
+	return s
 }
 
 // OpenFileParallel opens path with the best decode pipeline its format
@@ -285,9 +359,17 @@ func OpenIndexedFile(path string, decoders int) (*IndexedFileSource, error) {
 // CLIs and sim.Run open -trace files; a v3 file with a damaged index fails
 // loudly here rather than silently degrading to the sequential path.
 func OpenFileParallel(path string, decoders int) (Source, error) {
+	return OpenFileParallelCache(path, decoders, nil)
+}
+
+// OpenFileParallelCache is OpenFileParallel with a shared decoded-segment
+// cache attached to indexed sources. Unindexed (v1/v2) files bypass the
+// cache entirely — they have no independently decodable segments — and a
+// nil cache behaves exactly like OpenFileParallel.
+func OpenFileParallelCache(path string, decoders int, cache *SegmentCache) (Source, error) {
 	src, err := OpenIndexedFile(path, decoders)
 	if err == nil {
-		return src, nil
+		return src.WithCache(cache), nil
 	}
 	if !errors.Is(err, ErrNoIndex) {
 		return nil, err
@@ -313,11 +395,18 @@ func (s *IndexedFileSource) Decoders() int { return s.decoders }
 // table while the sequential face owns the stream position.
 func (s *IndexedFileSource) started() bool { return s.pipe != nil }
 
-// advance recycles the drained window and installs the next one, starting
-// the pipeline on first use.
+// advance recycles the drained window (or releases the drained cache pin)
+// and installs the next one, starting the pipeline on first use.
 func (s *IndexedFileSource) advance() error {
 	if s.cur != nil {
-		PutBatch(s.cur)
+		if s.pin != nil {
+			// A pinned cache slab is shared and immutable: release the pin,
+			// never recycle the memory into the batch pools.
+			s.pin.Release()
+			s.pin = nil
+		} else {
+			PutBatch(s.cur)
+		}
 		s.cur = nil
 		s.pos = 0
 	}
@@ -327,17 +416,25 @@ func (s *IndexedFileSource) advance() error {
 		}
 		if len(s.wins) == 0 {
 			if s.pipe == nil {
-				s.pipe = newSegPipe(s.r, s.idx, s.decoders)
+				s.pipe = newSegPipe(s.r, s.idx, s.decoders, s.cache, s.fileID)
 			}
-			wins, err := s.pipe.nextSegment()
+			e, err := s.pipe.nextSegment()
 			if err != nil {
 				s.err = err
-				for _, w := range wins {
-					PutBatch(w.buf)
-				}
+				e.discard()
 				return err
 			}
-			s.wins = wins
+			if e.pin != nil {
+				if accs := e.pin.Accesses(); len(accs) > 0 {
+					s.pin = e.pin
+					s.cur = accs
+					s.pos = 0
+					return nil
+				}
+				e.pin.Release()
+				continue
+			}
+			s.wins = e.wins
 			continue
 		}
 		w := s.wins[0]
@@ -386,7 +483,12 @@ func (s *IndexedFileSource) drain() {
 	}
 	s.wins = nil
 	if s.cur != nil {
-		PutBatch(s.cur)
+		if s.pin != nil {
+			s.pin.Release()
+			s.pin = nil
+		} else {
+			PutBatch(s.cur)
+		}
 		s.cur = nil
 	}
 	s.pos = 0

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"context"
-	"io"
 	"sync"
 
 	"migratory/internal/telemetry"
@@ -64,7 +63,6 @@ type segDelivery struct {
 func demuxSegments(ctx context.Context, src *IndexedFileSource, decoders, shards int, withSteps bool,
 	stats *telemetry.RunStats, route func(Access) int, consume func(shard int, b ShardBatch) error) error {
 	segs := src.idx.Segments
-	nodes := src.idx.Header.Nodes
 	workers := decoders
 	if workers > len(segs) {
 		workers = len(segs)
@@ -135,7 +133,7 @@ func demuxSegments(ctx context.Context, src *IndexedFileSource, decoders, shards
 				claim++
 				mu.Unlock()
 
-				out, derr := routeSegment(src.r, segs[i], nodes, shards, withSteps, route)
+				out, derr := routeSegment(src, i, shards, withSteps, route)
 				if derr != nil {
 					// Stop claiming past the first bad segment; consumers
 					// surface the error when they reach it in order.
@@ -279,72 +277,122 @@ func demuxSegments(ctx context.Context, src *IndexedFileSource, decoders, shards
 	return nil
 }
 
-// routeSegment decodes one segment and routes its accesses into per-shard
-// batches, stamping global step indices from the segment's StartIndex when
-// asked. The returned slice has one batch list per shard.
-func routeSegment(r io.ReaderAt, seg Segment, nodes, shards int, withSteps bool,
+// routeSegment decodes one segment of src and routes its accesses into
+// per-shard batches, stamping global step indices from the segment's
+// StartIndex when asked. When src carries a SegmentCache the decoded slab
+// comes from (or lands in) the cache — accesses are copied out of the
+// pinned immutable slab into pooled shard batches, so downstream recycling
+// never touches cache-owned memory. The returned slice has one batch list
+// per shard.
+func routeSegment(src *IndexedFileSource, segIdx, shards int, withSteps bool,
 	route func(Access) int) ([][]ShardBatch, error) {
-	out := make([][]ShardBatch, shards)
-	data, err := readSegment(r, seg)
+	seg := src.idx.Segments[segIdx]
+	rt := newShardRouter(shards, withSteps, seg.StartIndex, route)
+
+	if src.cache != nil && src.hasID {
+		pin, err := src.cache.Acquire(src.fileID, segIdx, func() ([]Access, error) {
+			return decodeSegmentSlab(src.r, seg, src.idx.Header.Nodes)
+		})
+		if err != nil {
+			return rt.fail(err)
+		}
+		rt.routeAll(pin.Accesses())
+		pin.Release()
+		return rt.finish()
+	}
+
+	data, err := readSegment(src.r, seg)
 	if err != nil {
-		return out, err
+		return rt.fail(err)
 	}
 	defer putSegBuf(data)
-
-	pending := make([]ShardBatch, shards)
-	newPending := func() ShardBatch {
-		b := ShardBatch{Accs: GetBatch()[:0]}
-		if withSteps {
-			b.Steps = getSteps()
-		}
-		return b
-	}
-	for i := range pending {
-		pending[i] = newPending()
-	}
-	fail := func(err error) ([][]ShardBatch, error) {
-		for i := range pending {
-			putShardBatch(pending[i])
-		}
-		for s := range out {
-			for _, b := range out[s] {
-				putShardBatch(b)
-			}
-			out[s] = nil
-		}
-		return out, err
-	}
-
-	dec := newSegmentDecoder(data, seg, nodes)
+	dec := newSegmentDecoder(data, seg, src.idx.Header.Nodes)
 	buf := GetBatch()
-	step := seg.StartIndex
 	for dec.left > 0 {
 		n, err := dec.next(buf)
 		if err != nil {
 			PutBatch(buf)
-			return fail(err)
+			return rt.fail(err)
 		}
-		for _, a := range buf[:n] {
-			shard := route(a)
-			p := &pending[shard]
-			p.Accs = append(p.Accs, a)
-			if withSteps {
-				p.Steps = append(p.Steps, step)
-			}
-			step++
-			if len(p.Accs) == DefaultBatchSize {
-				out[shard] = append(out[shard], *p)
-				*p = newPending()
-			}
-		}
+		rt.routeAll(buf[:n])
 	}
 	PutBatch(buf)
-	for i := range pending {
-		if len(pending[i].Accs) > 0 {
-			out[i] = append(out[i], pending[i])
-		} else {
-			putShardBatch(pending[i])
+	return rt.finish()
+}
+
+// shardRouter accumulates routed accesses into pooled per-shard batches,
+// shared by the cached-slab and raw-decode paths of routeSegment.
+type shardRouter struct {
+	out       [][]ShardBatch
+	pending   []ShardBatch
+	withSteps bool
+	step      uint64
+	route     func(Access) int
+}
+
+func newShardRouter(shards int, withSteps bool, startStep uint64, route func(Access) int) *shardRouter {
+	rt := &shardRouter{
+		out:       make([][]ShardBatch, shards),
+		pending:   make([]ShardBatch, shards),
+		withSteps: withSteps,
+		step:      startStep,
+		route:     route,
+	}
+	for i := range rt.pending {
+		rt.pending[i] = rt.newPending()
+	}
+	return rt
+}
+
+func (rt *shardRouter) newPending() ShardBatch {
+	b := ShardBatch{Accs: GetBatch()[:0]}
+	if rt.withSteps {
+		b.Steps = getSteps()
+	}
+	return b
+}
+
+// routeAll copies the accesses into the pending shard batches, flushing
+// each batch as it fills.
+func (rt *shardRouter) routeAll(accs []Access) {
+	for _, a := range accs {
+		shard := rt.route(a)
+		p := &rt.pending[shard]
+		p.Accs = append(p.Accs, a)
+		if rt.withSteps {
+			p.Steps = append(p.Steps, rt.step)
+		}
+		rt.step++
+		if len(p.Accs) == DefaultBatchSize {
+			rt.out[shard] = append(rt.out[shard], *p)
+			*p = rt.newPending()
 		}
 	}
-	return out, nil
+}
+
+// finish flushes the partial batches and returns the per-shard lists.
+func (rt *shardRouter) finish() ([][]ShardBatch, error) {
+	for i := range rt.pending {
+		if len(rt.pending[i].Accs) > 0 {
+			rt.out[i] = append(rt.out[i], rt.pending[i])
+		} else {
+			putShardBatch(rt.pending[i])
+		}
+	}
+	return rt.out, nil
+}
+
+// fail recycles everything accumulated and returns the per-shard slice
+// shape the callers expect alongside err.
+func (rt *shardRouter) fail(err error) ([][]ShardBatch, error) {
+	for i := range rt.pending {
+		putShardBatch(rt.pending[i])
+	}
+	for s := range rt.out {
+		for _, b := range rt.out[s] {
+			putShardBatch(b)
+		}
+		rt.out[s] = nil
+	}
+	return rt.out, err
 }
